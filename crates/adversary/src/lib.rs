@@ -1,0 +1,109 @@
+//! # byzcast-adversary — Byzantine behaviour models
+//!
+//! The paper's fault model (§2.1): "Byzantine processes may fail to send
+//! messages, send too many messages, send messages with false information, or
+//! send messages with different data to different nodes" — but "a node cannot
+//! impersonate another node", thanks to signatures.
+//!
+//! Each adversary here either *wraps* a correct `ByzcastNode` and perturbs
+//! its outgoing actions (the strongest adversaries: they speak the protocol
+//! perfectly except for the deviation), or is a standalone protocol:
+//!
+//! * [`MuteNode`] — runs the protocol but never forwards data (and optionally
+//!   never gossips), while *claiming to be an overlay dominator* so correct
+//!   neighbours defer to it. The attack the MUTE failure detector exists for,
+//!   and the failure mode the paper's evaluation focuses on ("nodes
+//!   experience mute failures, as these failures seem to have the most
+//!   adverse impact on the protocol's performance").
+//! * [`SilentNode`] — generic crash-like mute: drops every transmission of
+//!   any wrapped protocol (used against the baselines too).
+//! * [`ForgerNode`] — tampers with the payload of every forwarded data
+//!   message ("send messages with false information"); signatures catch it.
+//! * [`VerboseNode`] — floods duplicate `REQUEST_MSG`s for messages it
+//!   already has; the VERBOSE failure detector exists for this.
+//! * [`GossipLiarNode`] — gossips about messages it never supplies, the
+//!   behaviour §3.2.2 calls out: "If q gossips about messages that do not
+//!   exist or q does not want to supply them, it will be suspected."
+//! * [`SelectiveForwarder`] — forwards everything except messages from
+//!   victim originators (targeted censorship).
+//! * [`ImpersonatorNode`] — injects data messages with forged originators
+//!   and unsigned beacons; pure noise once signatures are checked.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod standalone;
+pub mod wrappers;
+
+pub use standalone::{GossipLiarNode, ImpersonatorNode};
+pub use wrappers::{
+    AlwaysDominator, ForgerNode, MuteNode, MutePolicy, SelectiveForwarder, SilentNode, VerboseNode,
+};
+
+use byzcast_sim::node::Action;
+use byzcast_sim::{Context, Message};
+
+/// Runs `f` against a sub-context and returns the actions it produced,
+/// letting a wrapper inspect/filter/rewrite them before re-emitting.
+pub fn capture<M: Message, R>(
+    ctx: &mut Context<'_, M>,
+    f: impl FnOnce(&mut Context<'_, M>) -> R,
+) -> (R, Vec<Action<M>>) {
+    let node = ctx.node_id();
+    let now = ctx.now();
+    let mut actions = Vec::new();
+    let r = {
+        let mut sub = Context::new(node, now, ctx.rng(), &mut actions);
+        f(&mut sub)
+    };
+    (r, actions)
+}
+
+/// Re-emits a captured action into the real context.
+pub fn emit<M: Message>(ctx: &mut Context<'_, M>, action: Action<M>) {
+    match action {
+        Action::Send(m) => ctx.send(m),
+        Action::SetTimer { at, key } => ctx.set_timer_at(at, key),
+        Action::CancelTimer(key) => ctx.cancel_timer(key),
+        Action::Deliver { origin, payload_id } => ctx.deliver(origin, payload_id),
+        Action::Note(text) => ctx.note(text),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use byzcast_sim::{NodeId, SimRng, SimTime};
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct M(u32);
+    impl Message for M {
+        fn wire_size(&self) -> usize {
+            4
+        }
+        fn kind(&self) -> &'static str {
+            "m"
+        }
+    }
+
+    #[test]
+    fn capture_and_emit_round_trip() {
+        let mut rng = SimRng::new(0);
+        let mut outer: Vec<Action<M>> = Vec::new();
+        let mut ctx = Context::new(NodeId(1), SimTime::from_secs(1), &mut rng, &mut outer);
+        let ((), captured) = capture(&mut ctx, |sub| {
+            sub.send(M(1));
+            sub.deliver(NodeId(2), 9);
+        });
+        assert_eq!(captured.len(), 2);
+        // Re-emit only the delivery.
+        for a in captured {
+            if matches!(a, Action::Deliver { .. }) {
+                emit(&mut ctx, a);
+            }
+        }
+        drop(ctx);
+        assert_eq!(outer.len(), 1);
+        assert!(matches!(outer[0], Action::Deliver { .. }));
+    }
+}

@@ -1,0 +1,265 @@
+//! Standalone Byzantine protocols (not wrapping a correct node).
+
+use std::collections::BTreeMap;
+
+use byzcast_core::message::{BeaconMsg, DataMsg, GossipEntry, GossipMsg, MessageId, WireMsg};
+use byzcast_crypto::{Signature, Signer};
+use byzcast_overlay::OverlayRole;
+use byzcast_sim::{AppPayload, Context, NodeId, Protocol, SimDuration, TimerKey};
+
+const GOSSIP_TIMER: TimerKey = TimerKey(0x6_0001);
+const BEACON_TIMER: TimerKey = TimerKey(0x6_0002);
+const INJECT_TIMER: TimerKey = TimerKey(0x6_0003);
+
+/// The gossip liar: re-gossips (valid, overheard) entries for messages it
+/// does not hold and never answers the resulting requests.
+///
+/// §3.2.2: a node "only gossips about messages it has already received" —
+/// the liar violates exactly this, and "if q gossips about messages that do
+/// not exist or q does not want to supply them, it will be suspected" (the
+/// MUTE expectation registered at line 28 fires).
+pub struct GossipLiarNode {
+    signer: Box<dyn Signer + Send>,
+    gossip_period: SimDuration,
+    /// Valid entries overheard from others (it cannot forge new ones).
+    overheard: BTreeMap<MessageId, GossipEntry>,
+    /// Lying gossip packets sent (diagnostic).
+    pub lies_sent: u64,
+    /// Requests it pointedly ignored (diagnostic).
+    pub requests_ignored: u64,
+}
+
+impl GossipLiarNode {
+    /// Creates a liar gossiping every `gossip_period`.
+    pub fn new(signer: Box<dyn Signer + Send>, gossip_period: SimDuration) -> Self {
+        GossipLiarNode {
+            signer,
+            gossip_period,
+            overheard: BTreeMap::new(),
+            lies_sent: 0,
+            requests_ignored: 0,
+        }
+    }
+}
+
+impl Protocol for GossipLiarNode {
+    type Msg = WireMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, WireMsg>) {
+        ctx.set_timer_after(self.gossip_period, GOSSIP_TIMER);
+        ctx.set_timer_after(self.gossip_period, BEACON_TIMER);
+    }
+
+    fn on_packet(&mut self, ctx: &mut Context<'_, WireMsg>, _from: NodeId, msg: &WireMsg) {
+        match msg {
+            // Collect entries to lie about — from gossips AND data messages
+            // (whose bodies it deliberately does not retain).
+            WireMsg::Gossip(g) => {
+                for e in &g.entries {
+                    self.overheard.insert(e.id, *e);
+                }
+            }
+            WireMsg::Data(m) => {
+                self.overheard.insert(m.id, m.gossip_entry());
+                ctx.deliver(m.id.origin, m.payload_id); // it still reads them
+            }
+            WireMsg::Request(_) | WireMsg::FindMissing(_) => {
+                self.requests_ignored += 1; // never supplies anything
+            }
+            WireMsg::Beacon(_) => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, WireMsg>, timer: TimerKey) {
+        match timer {
+            GOSSIP_TIMER => {
+                let entries: Vec<GossipEntry> = self.overheard.values().copied().take(40).collect();
+                if !entries.is_empty() {
+                    ctx.send(WireMsg::Gossip(GossipMsg::of_entries(entries)));
+                    self.lies_sent += 1;
+                }
+                ctx.set_timer_after(self.gossip_period, GOSSIP_TIMER);
+            }
+            BEACON_TIMER => {
+                // Claim to be a dominator with no neighbours to report.
+                ctx.send(WireMsg::Beacon(BeaconMsg::sign(
+                    self.signer.as_ref(),
+                    OverlayRole::Dominator,
+                    vec![],
+                    vec![],
+                    vec![],
+                )));
+                ctx.set_timer_after(self.gossip_period, BEACON_TIMER);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_app_broadcast(&mut self, _ctx: &mut Context<'_, WireMsg>, _payload: AppPayload) {
+        // The liar never originates (it would have to supply those).
+    }
+}
+
+/// The impersonator: periodically injects data messages claiming other
+/// originators (with garbage signatures, since it cannot forge) and beacons
+/// naming other senders. All of it is rejected by receivers; the interesting
+/// measurement is that it achieves nothing but getting itself suspected.
+pub struct ImpersonatorNode {
+    me: NodeId,
+    victim: NodeId,
+    inject_period: SimDuration,
+    seq: u64,
+    /// Forged frames injected (diagnostic).
+    pub injected: u64,
+}
+
+impl ImpersonatorNode {
+    /// Creates an impersonator framing `victim` every `inject_period`.
+    pub fn new(me: NodeId, victim: NodeId, inject_period: SimDuration) -> Self {
+        ImpersonatorNode {
+            me,
+            victim,
+            inject_period,
+            seq: 0,
+            injected: 0,
+        }
+    }
+}
+
+impl Protocol for ImpersonatorNode {
+    type Msg = WireMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, WireMsg>) {
+        ctx.set_timer_after(self.inject_period, INJECT_TIMER);
+    }
+
+    fn on_packet(&mut self, _ctx: &mut Context<'_, WireMsg>, _from: NodeId, _msg: &WireMsg) {}
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, WireMsg>, timer: TimerKey) {
+        if timer != INJECT_TIMER {
+            return;
+        }
+        self.seq += 1;
+        // A data message "from" the victim with an unforgeable — therefore
+        // absent — signature.
+        let forged = DataMsg {
+            id: crate::standalone::MessageId::new(self.victim, 1_000_000 + self.seq),
+            payload_id: 0xBAD0 + self.seq,
+            payload_len: 64,
+            msg_sig: Signature::zero(),
+            id_sig: Signature::zero(),
+            ttl: 1,
+        };
+        ctx.send(WireMsg::Data(forged));
+        // A beacon claiming to be the victim.
+        let fake_beacon = BeaconMsg {
+            sender: self.victim,
+            role: OverlayRole::Dominator,
+            marked: true,
+            neighbors: vec![self.me],
+            dominator_neighbors: vec![],
+            suspects: vec![],
+            sig: Signature::zero(),
+        };
+        ctx.send(WireMsg::Beacon(fake_beacon));
+        self.injected += 2;
+        ctx.set_timer_after(self.inject_period, INJECT_TIMER);
+    }
+
+    fn on_app_broadcast(&mut self, _ctx: &mut Context<'_, WireMsg>, _payload: AppPayload) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use byzcast_crypto::{KeyRegistry, SignerId, SimScheme};
+    use byzcast_sim::node::Action;
+    use byzcast_sim::{SimRng, SimTime};
+
+    fn drive<P: Protocol>(
+        p: &mut P,
+        id: u32,
+        f: impl FnOnce(&mut P, &mut Context<'_, P::Msg>),
+    ) -> Vec<Action<P::Msg>> {
+        let mut rng = SimRng::new(0);
+        let mut actions = Vec::new();
+        {
+            let mut ctx = Context::new(NodeId(id), SimTime::from_secs(1), &mut rng, &mut actions);
+            f(p, &mut ctx);
+        }
+        actions
+    }
+
+    fn sends(actions: &[Action<WireMsg>]) -> Vec<&WireMsg> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Send(m) => Some(m),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn liar_gossips_overheard_entries_without_having_messages() {
+        let reg: KeyRegistry<SimScheme> = KeyRegistry::generate(1, 4);
+        let mut liar = GossipLiarNode::new(
+            Box::new(reg.signer(SignerId(3))),
+            SimDuration::from_millis(500),
+        );
+        let m = DataMsg::sign(&reg.signer(SignerId(0)), 1, 5, 64);
+        // Hears only the gossip, never the message.
+        drive(&mut liar, 3, |p, ctx| {
+            p.on_packet(
+                ctx,
+                NodeId(0),
+                &WireMsg::Gossip(GossipMsg::of_entries(vec![m.gossip_entry()])),
+            )
+        });
+        let actions = drive(&mut liar, 3, |p, ctx| p.on_timer(ctx, GOSSIP_TIMER));
+        match sends(&actions).first() {
+            Some(WireMsg::Gossip(g)) => {
+                assert_eq!(g.entries.len(), 1);
+                // The lied-about entry is still *valid* (originator-signed).
+                assert!(g.entries[0].verify(&reg.verifier()));
+            }
+            other => panic!("expected gossip, got {other:?}"),
+        }
+        assert_eq!(liar.lies_sent, 1);
+        // And it ignores the resulting request.
+        let req = byzcast_core::message::RequestMsg {
+            entry: m.gossip_entry(),
+            target: NodeId(3),
+        };
+        let actions = drive(&mut liar, 3, |p, ctx| {
+            p.on_packet(ctx, NodeId(1), &WireMsg::Request(req))
+        });
+        assert!(sends(&actions).is_empty());
+        assert_eq!(liar.requests_ignored, 1);
+    }
+
+    #[test]
+    fn impersonator_frames_never_verify() {
+        let reg: KeyRegistry<SimScheme> = KeyRegistry::generate(1, 4);
+        let mut imp = ImpersonatorNode::new(NodeId(3), NodeId(0), SimDuration::from_secs(1));
+        let actions = drive(&mut imp, 3, |p, ctx| p.on_timer(ctx, INJECT_TIMER));
+        let s = sends(&actions);
+        assert_eq!(s.len(), 2);
+        let v = reg.verifier();
+        match s[0] {
+            WireMsg::Data(d) => {
+                assert_eq!(d.id.origin, NodeId(0));
+                assert!(!d.verify(&v));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match s[1] {
+            WireMsg::Beacon(b) => {
+                assert_eq!(b.sender, NodeId(0));
+                assert!(!b.verify(&v));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(imp.injected, 2);
+    }
+}

@@ -1,0 +1,23 @@
+//! # byzcast-baselines — the comparison protocols of the paper's evaluation
+//!
+//! Section 4 of the paper compares the overlay-gossip protocol against
+//! *flooding*, and its introduction motivates the design by contrast with the
+//! prior-art approach of maintaining *f + 1 node-independent overlays* and
+//! flooding every message along each of them ([15, 34, 36]): "the price paid
+//! by this approach is that every message has to be sent f + 1 times even if
+//! in practice none of the devices suffered from a Byzantine fault".
+//!
+//! * [`flooding`] — classic flooding: every first reception is delivered and
+//!   re-broadcast. Maximally robust, maximally chatty.
+//! * [`multi_overlay`] — the f+1-overlays baseline: a (generously) oracle-
+//!   constructed family of node-disjoint connected dominating sets, with
+//!   every message flooded once per overlay.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod flooding;
+pub mod multi_overlay;
+
+pub use flooding::FloodingNode;
+pub use multi_overlay::{plan_overlays, MoMsg, MultiOverlayNode};

@@ -1,0 +1,518 @@
+//! The f+1 node-independent overlays baseline.
+//!
+//! Prior work ([15, 34, 36] in the paper) tolerates up to `f` Byzantine nodes
+//! by maintaining "f + 1 node independent overlays … and flood\[ing\] each
+//! message along each of these overlays, guaranteeing that each message will
+//! eventually arrive despite possible Byzantine nodes. Of course, the price
+//! paid by this approach is that every message has to be sent f + 1 times
+//! even if in practice none of the devices suffered from a Byzantine fault."
+//!
+//! The baseline is given an *oracle* overlay construction: [`plan_overlays`]
+//! centrally computes `k` node-disjoint connected dominating sets from the
+//! true topology (internal nodes of breadth-first spanning trees, preferring
+//! nodes unused by earlier overlays). This is generous to the baseline — the
+//! distributed protocols of \[15\] pay further maintenance overhead — which
+//! makes the message-count comparison of experiment R1 conservative.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use byzcast_core::message::{DataMsg, MessageId};
+use byzcast_crypto::{Signer, Verifier};
+use byzcast_sim::{AppPayload, Context, Message, NodeId, Protocol, TimerKey};
+
+/// The baseline's wire message: a data message tagged with the overlay index
+/// it is flooding along.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MoMsg {
+    /// The signed data message.
+    pub data: DataMsg,
+    /// Which of the f+1 overlays this copy floods along.
+    pub overlay: u8,
+}
+
+impl Message for MoMsg {
+    fn wire_size(&self) -> usize {
+        self.data.wire_size() + 1
+    }
+    fn kind(&self) -> &'static str {
+        "data"
+    }
+}
+
+/// A node participating in the f+1-overlays baseline.
+pub struct MultiOverlayNode {
+    id: NodeId,
+    signer: Box<dyn Signer + Send>,
+    verifier: Arc<dyn Verifier + Send + Sync>,
+    /// `memberships[k]` — whether this node relays on overlay `k`.
+    memberships: Vec<bool>,
+    seen_copies: HashSet<(MessageId, u8)>,
+    delivered: HashSet<MessageId>,
+    next_seq: u64,
+    /// Copies this node forwarded.
+    pub forwards: u64,
+    /// Receptions dropped for bad signatures.
+    pub bad_signatures: u64,
+}
+
+impl MultiOverlayNode {
+    /// Creates a node with its overlay membership vector (one flag per
+    /// overlay, as produced by [`plan_overlays`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `signer` does not sign as `id` or `memberships` is empty.
+    pub fn new(
+        id: NodeId,
+        memberships: Vec<bool>,
+        signer: Box<dyn Signer + Send>,
+        verifier: Arc<dyn Verifier + Send + Sync>,
+    ) -> Self {
+        assert_eq!(signer.id().0, id.0, "signer must sign as the node's own id");
+        assert!(!memberships.is_empty(), "need at least one overlay");
+        MultiOverlayNode {
+            id,
+            signer,
+            verifier,
+            memberships,
+            seen_copies: HashSet::new(),
+            delivered: HashSet::new(),
+            next_seq: 0,
+            forwards: 0,
+            bad_signatures: 0,
+        }
+    }
+
+    /// Number of overlays this node relays on.
+    pub fn membership_count(&self) -> usize {
+        self.memberships.iter().filter(|&&m| m).count()
+    }
+}
+
+impl Protocol for MultiOverlayNode {
+    type Msg = MoMsg;
+
+    fn on_packet(&mut self, ctx: &mut Context<'_, MoMsg>, _from: NodeId, msg: &MoMsg) {
+        let k = msg.overlay as usize;
+        if k >= self.memberships.len() {
+            return; // copy for an overlay this run does not have
+        }
+        if self.seen_copies.contains(&(msg.data.id, msg.overlay)) {
+            return;
+        }
+        if !msg.data.verify(self.verifier.as_ref()) {
+            self.bad_signatures += 1;
+            return;
+        }
+        self.seen_copies.insert((msg.data.id, msg.overlay));
+        if self.delivered.insert(msg.data.id) {
+            ctx.deliver(msg.data.id.origin, msg.data.payload_id);
+        }
+        if self.memberships[k] {
+            ctx.send(*msg);
+            self.forwards += 1;
+        }
+    }
+
+    fn on_timer(&mut self, _ctx: &mut Context<'_, MoMsg>, _timer: TimerKey) {}
+
+    fn on_app_broadcast(&mut self, ctx: &mut Context<'_, MoMsg>, payload: AppPayload) {
+        self.next_seq += 1;
+        let data = DataMsg::sign(
+            self.signer.as_ref(),
+            self.next_seq,
+            payload.id,
+            payload.size_bytes as u32,
+        );
+        self.delivered.insert(data.id);
+        ctx.deliver(self.id, payload.id);
+        // "Every message has to be sent f + 1 times": one copy per overlay.
+        for k in 0..self.memberships.len() as u8 {
+            self.seen_copies.insert((data.id, k));
+            ctx.send(MoMsg { data, overlay: k });
+        }
+    }
+}
+
+/// Centrally plans `k` node-disjoint connected dominating sets over the
+/// ground-truth adjacency. Overlay `j` is the set of internal nodes of a
+/// breadth-first spanning tree rooted to avoid nodes used by overlays
+/// `< j`; when disjointness cannot be kept (sparse graphs), reuse is allowed
+/// (and counted by comparing memberships).
+///
+/// Returns `memberships[node][overlay]`.
+///
+/// # Panics
+///
+/// Panics if `k` is zero.
+pub fn plan_overlays(adj: &[Vec<NodeId>], k: u8, seed: u64) -> Vec<Vec<bool>> {
+    assert!(k > 0, "need at least one overlay");
+    let n = adj.len();
+    let mut memberships = vec![vec![false; k as usize]; n];
+    let mut used = vec![false; n];
+    let mut rng = byzcast_sim::SimRng::new(seed);
+
+    let _ = &mut rng; // reserved for future randomized tie-breaking
+
+    for overlay in 0..k as usize {
+        let mut visited = vec![false; n];
+        let mut parent: Vec<Option<usize>> = vec![None; n];
+        let mut roots: Vec<usize> = Vec::new();
+        // One spanning tree per connected component (disconnected graphs
+        // must still have every component covered).
+        loop {
+            // Root: an unvisited node, preferring unused ones with maximal
+            // degree so earlier overlays' relays stay out of this one.
+            let root = match (0..n)
+                .filter(|&i| !visited[i])
+                .max_by_key(|&i| (!used[i], adj[i].len(), usize::MAX - i))
+            {
+                Some(r) => r,
+                None => break,
+            };
+            roots.push(root);
+            visited[root] = true;
+            // Two-tier BFS frontier: unused nodes expand first, so they
+            // become the internal (relay) nodes where possible.
+            let mut fresh: std::collections::VecDeque<usize> = [root].into();
+            let mut stale: std::collections::VecDeque<usize> = Default::default();
+            while let Some(u) = fresh.pop_front().or_else(|| stale.pop_front()) {
+                for &v in &adj[u] {
+                    let vi = v.index();
+                    if !visited[vi] {
+                        visited[vi] = true;
+                        parent[vi] = Some(u);
+                        if used[vi] {
+                            stale.push_back(vi);
+                        } else {
+                            fresh.push_back(vi);
+                        }
+                    }
+                }
+            }
+        }
+        // Internal nodes of the trees = nodes that are some node's parent.
+        let mut internal = vec![false; n];
+        for v in 0..n {
+            if let Some(p) = parent[v] {
+                internal[p] = true;
+            }
+        }
+        // A component root with no children (isolated node) relays itself.
+        for root in roots {
+            if !internal[root] && !adj[root].iter().any(|v| internal[v.index()]) {
+                internal[root] = true;
+            }
+        }
+        for v in 0..n {
+            if internal[v] {
+                memberships[v][overlay] = true;
+                used[v] = true;
+            }
+        }
+    }
+    memberships
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use byzcast_crypto::{KeyRegistry, SignerId, SimScheme};
+    use byzcast_sim::node::Action;
+    use byzcast_sim::{SimRng, SimTime};
+
+    fn keys() -> KeyRegistry<SimScheme> {
+        KeyRegistry::generate(9, 8)
+    }
+
+    fn drive(
+        n: &mut MultiOverlayNode,
+        f: impl FnOnce(&mut MultiOverlayNode, &mut Context<'_, MoMsg>),
+    ) -> Vec<Action<MoMsg>> {
+        let mut rng = SimRng::new(0);
+        let mut actions = Vec::new();
+        {
+            let mut ctx = Context::new(n.id, SimTime::from_secs(1), &mut rng, &mut actions);
+            f(n, &mut ctx);
+        }
+        actions
+    }
+
+    #[test]
+    fn broadcast_sends_one_copy_per_overlay() {
+        let reg = keys();
+        let verifier: Arc<dyn Verifier + Send + Sync> = Arc::new(reg.verifier());
+        let mut n = MultiOverlayNode::new(
+            NodeId(0),
+            vec![false, false, false],
+            Box::new(reg.signer(SignerId(0))),
+            verifier,
+        );
+        let actions = drive(&mut n, |n, ctx| {
+            n.on_app_broadcast(
+                ctx,
+                AppPayload {
+                    id: 1,
+                    size_bytes: 64,
+                },
+            )
+        });
+        let sends = actions
+            .iter()
+            .filter(|a| matches!(a, Action::Send(_)))
+            .count();
+        assert_eq!(sends, 3, "f+1 copies expected");
+    }
+
+    #[test]
+    fn member_forwards_only_its_overlay_and_delivers_once() {
+        let reg = keys();
+        let verifier: Arc<dyn Verifier + Send + Sync> = Arc::new(reg.verifier());
+        let mut n = MultiOverlayNode::new(
+            NodeId(1),
+            vec![true, false],
+            Box::new(reg.signer(SignerId(1))),
+            verifier,
+        );
+        let data = DataMsg::sign(&reg.signer(SignerId(0)), 1, 5, 64);
+        // Copy on overlay 0: member → forward + deliver.
+        let a0 = drive(&mut n, |n, ctx| {
+            n.on_packet(ctx, NodeId(0), &MoMsg { data, overlay: 0 })
+        });
+        assert_eq!(
+            a0.iter().filter(|a| matches!(a, Action::Send(_))).count(),
+            1
+        );
+        assert_eq!(
+            a0.iter()
+                .filter(|a| matches!(a, Action::Deliver { .. }))
+                .count(),
+            1
+        );
+        // Copy on overlay 1: not a member → deliver already done, no forward.
+        let a1 = drive(&mut n, |n, ctx| {
+            n.on_packet(ctx, NodeId(0), &MoMsg { data, overlay: 1 })
+        });
+        assert!(
+            a1.is_empty()
+                || a1
+                    .iter()
+                    .all(|a| !matches!(a, Action::Send(_) | Action::Deliver { .. }))
+        );
+        assert_eq!(n.forwards, 1);
+        assert_eq!(n.membership_count(), 1);
+    }
+
+    #[test]
+    fn bad_signature_copies_are_dropped() {
+        let reg = keys();
+        let verifier: Arc<dyn Verifier + Send + Sync> = Arc::new(reg.verifier());
+        let mut n = MultiOverlayNode::new(
+            NodeId(1),
+            vec![true],
+            Box::new(reg.signer(SignerId(1))),
+            verifier,
+        );
+        let mut data = DataMsg::sign(&reg.signer(SignerId(0)), 1, 5, 64);
+        data.payload_id = 99;
+        let a = drive(&mut n, |n, ctx| {
+            n.on_packet(ctx, NodeId(0), &MoMsg { data, overlay: 0 })
+        });
+        assert!(a.is_empty());
+        assert_eq!(n.bad_signatures, 1);
+    }
+
+    /// Path graph of `n` nodes as adjacency lists.
+    fn path_adj(n: usize) -> Vec<Vec<NodeId>> {
+        (0..n)
+            .map(|i| {
+                let mut v = Vec::new();
+                if i > 0 {
+                    v.push(NodeId(i as u32 - 1));
+                }
+                if i + 1 < n {
+                    v.push(NodeId(i as u32 + 1));
+                }
+                v
+            })
+            .collect()
+    }
+
+    /// Complete graph of `n` nodes.
+    fn complete_adj(n: usize) -> Vec<Vec<NodeId>> {
+        (0..n)
+            .map(|i| {
+                (0..n)
+                    .filter(|&j| j != i)
+                    .map(|j| NodeId(j as u32))
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn overlay_nodes(memberships: &[Vec<bool>], k: usize) -> Vec<bool> {
+        memberships.iter().map(|m| m[k]).collect()
+    }
+
+    #[test]
+    fn planned_overlays_dominate_and_connect() {
+        use byzcast_sim::NodeId as N;
+        let adj = complete_adj(10);
+        let m = plan_overlays(&adj, 3, 1);
+        for k in 0..3 {
+            let overlay = overlay_nodes(&m, k);
+            assert!(overlay.iter().any(|&b| b), "overlay {k} empty");
+            // Domination: every node in overlay or adjacent to a member.
+            for i in 0..10 {
+                let ok = overlay[i] || adj[i].iter().any(|v: &N| overlay[v.index()]);
+                assert!(ok, "node {i} uncovered in overlay {k}");
+            }
+        }
+        // Disjointness on a dense graph.
+        for node in &m {
+            assert!(
+                node.iter().filter(|&&b| b).count() <= 1,
+                "overlap on dense graph"
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_graphs_allow_reuse_but_still_cover() {
+        let adj = path_adj(6);
+        let m = plan_overlays(&adj, 2, 1);
+        for k in 0..2 {
+            let overlay = overlay_nodes(&m, k);
+            for i in 0..6 {
+                let ok = overlay[i] || adj[i].iter().any(|v| overlay[v.index()]);
+                assert!(ok, "node {i} uncovered in overlay {k}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one overlay")]
+    fn zero_overlays_panics() {
+        plan_overlays(&path_adj(3), 0, 1);
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use byzcast_crypto::{KeyRegistry, SignerId, SimScheme};
+    use byzcast_sim::node::Action;
+    use byzcast_sim::{SimRng, SimTime};
+
+    fn drive(
+        n: &mut MultiOverlayNode,
+        f: impl FnOnce(&mut MultiOverlayNode, &mut Context<'_, MoMsg>),
+    ) -> Vec<Action<MoMsg>> {
+        let mut rng = SimRng::new(0);
+        let mut actions = Vec::new();
+        {
+            let mut ctx = Context::new(n.id, SimTime::from_secs(1), &mut rng, &mut actions);
+            f(n, &mut ctx);
+        }
+        actions
+    }
+
+    #[test]
+    fn same_message_on_two_overlays_forwards_twice_delivers_once() {
+        let reg: KeyRegistry<SimScheme> = KeyRegistry::generate(4, 4);
+        let verifier: Arc<dyn Verifier + Send + Sync> = Arc::new(reg.verifier());
+        let mut n = MultiOverlayNode::new(
+            NodeId(1),
+            vec![true, true],
+            Box::new(reg.signer(SignerId(1))),
+            verifier,
+        );
+        let data = DataMsg::sign(&reg.signer(SignerId(0)), 1, 5, 64);
+        let mut deliveries = 0;
+        let mut forwards = 0;
+        for overlay in [0u8, 1, 0, 1] {
+            let actions = drive(&mut n, |n, ctx| {
+                n.on_packet(ctx, NodeId(0), &MoMsg { data, overlay })
+            });
+            deliveries += actions
+                .iter()
+                .filter(|a| matches!(a, Action::Deliver { .. }))
+                .count();
+            forwards += actions
+                .iter()
+                .filter(|a| matches!(a, Action::Send(_)))
+                .count();
+        }
+        assert_eq!(deliveries, 1, "payload must reach the app once");
+        assert_eq!(
+            forwards, 2,
+            "one forward per overlay copy, duplicates dropped"
+        );
+        assert_eq!(n.forwards, 2);
+    }
+
+    #[test]
+    fn copies_for_unknown_overlays_are_ignored() {
+        let reg: KeyRegistry<SimScheme> = KeyRegistry::generate(4, 4);
+        let verifier: Arc<dyn Verifier + Send + Sync> = Arc::new(reg.verifier());
+        let mut n = MultiOverlayNode::new(
+            NodeId(1),
+            vec![true],
+            Box::new(reg.signer(SignerId(1))),
+            verifier,
+        );
+        let data = DataMsg::sign(&reg.signer(SignerId(0)), 1, 5, 64);
+        let actions = drive(&mut n, |n, ctx| {
+            n.on_packet(ctx, NodeId(0), &MoMsg { data, overlay: 9 })
+        });
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn wire_size_accounts_for_the_overlay_tag() {
+        let reg: KeyRegistry<SimScheme> = KeyRegistry::generate(4, 1);
+        let data = DataMsg::sign(&reg.signer(SignerId(0)), 1, 5, 64);
+        let m = MoMsg { data, overlay: 0 };
+        assert_eq!(m.wire_size(), data.wire_size() + 1);
+        assert_eq!(m.kind(), "data");
+    }
+
+    #[test]
+    fn later_overlays_prefer_unused_relays_on_dense_graphs() {
+        // On a complete graph, overlays must be pairwise disjoint.
+        let n = 12;
+        let adj: Vec<Vec<NodeId>> = (0..n)
+            .map(|i| {
+                (0..n)
+                    .filter(|&j| j != i)
+                    .map(|j| NodeId(j as u32))
+                    .collect()
+            })
+            .collect();
+        let m = plan_overlays(&adj, 4, 7);
+        for node in &m {
+            assert!(
+                node.iter().filter(|&&b| b).count() <= 1,
+                "node reused across overlays on a complete graph"
+            );
+        }
+        // Every overlay is non-empty.
+        for k in 0..4 {
+            assert!(m.iter().any(|node| node[k]), "overlay {k} empty");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one overlay")]
+    fn empty_membership_vector_panics() {
+        let reg: KeyRegistry<SimScheme> = KeyRegistry::generate(4, 1);
+        let verifier: Arc<dyn Verifier + Send + Sync> = Arc::new(reg.verifier());
+        let _ = MultiOverlayNode::new(
+            NodeId(0),
+            vec![],
+            Box::new(reg.signer(SignerId(0))),
+            verifier,
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! Micro-benchmarks for the cryptographic substrate: SHA-256 throughput and
+//! sign/verify cost of the two signature schemes. Signature verification is
+//! the per-reception hot path of the protocol (every data message, gossip
+//! entry and beacon is verified), so the scheme choice bounds simulation
+//! scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use byzcast_crypto::{
+    hmac_sha256, sha256, KeyRegistry, SchnorrScheme, Signer, SignerId, SimScheme, Verifier,
+};
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [64usize, 512, 4096] {
+        let data = vec![0xA5u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
+            b.iter(|| sha256(black_box(data)))
+        });
+    }
+    group.finish();
+
+    c.bench_function("hmac_sha256/512B", |b| {
+        let data = vec![0x5Au8; 512];
+        b.iter(|| hmac_sha256(black_box(b"key material"), black_box(&data)))
+    });
+}
+
+fn bench_signatures(c: &mut Criterion) {
+    let data = vec![0x42u8; 128];
+
+    let sim: KeyRegistry<SimScheme> = KeyRegistry::generate(1, 4);
+    let sim_signer = sim.signer(SignerId(0));
+    let sim_verifier = sim.verifier();
+    let sim_sig = sim_signer.sign(&data);
+
+    let sch: KeyRegistry<SchnorrScheme> = KeyRegistry::generate(1, 4);
+    let sch_signer = sch.signer(SignerId(0));
+    let sch_verifier = sch.verifier();
+    let sch_sig = sch_signer.sign(&data);
+
+    let mut group = c.benchmark_group("sign");
+    group.bench_function("sim", |b| b.iter(|| sim_signer.sign(black_box(&data))));
+    group.bench_function("schnorr", |b| b.iter(|| sch_signer.sign(black_box(&data))));
+    group.finish();
+
+    let mut group = c.benchmark_group("verify");
+    group.bench_function("sim", |b| {
+        b.iter(|| sim_verifier.verify(SignerId(0), black_box(&data), &sim_sig))
+    });
+    group.bench_function("schnorr", |b| {
+        b.iter(|| sch_verifier.verify(SignerId(0), black_box(&data), &sch_sig))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sha256, bench_signatures);
+criterion_main!(benches);

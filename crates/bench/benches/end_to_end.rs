@@ -1,0 +1,53 @@
+//! End-to-end benchmark: a complete (small) simulation run per protocol —
+//! the wall-clock cost behind every data point of experiments R1–R8, and a
+//! regression guard for simulator performance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use byzcast_harness::{ProtocolChoice, ScenarioConfig, Workload};
+use byzcast_sim::{Field, NodeId, SimConfig, SimDuration};
+
+fn scenario(protocol: ProtocolChoice) -> ScenarioConfig {
+    ScenarioConfig {
+        seed: 1,
+        n: 30,
+        sim: SimConfig {
+            field: Field::new(500.0, 500.0),
+            ..SimConfig::default()
+        },
+        protocol,
+        ..ScenarioConfig::default()
+    }
+}
+
+fn workload() -> Workload {
+    Workload {
+        senders: vec![NodeId(0)],
+        count: 10,
+        payload_bytes: 512,
+        start: SimDuration::from_secs(4),
+        interval: SimDuration::from_millis(400),
+        drain: SimDuration::from_secs(6),
+    }
+}
+
+fn bench_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end_30_nodes_18s");
+    group.sample_size(10);
+    for (label, protocol) in [
+        ("byzcast", ProtocolChoice::Byzcast),
+        ("flooding", ProtocolChoice::Flooding),
+        ("2-overlays", ProtocolChoice::MultiOverlay { f: 1 }),
+    ] {
+        let config = scenario(protocol);
+        let w = workload();
+        group.bench_with_input(BenchmarkId::from_parameter(label), &config, |b, config| {
+            b.iter(|| black_box(config.run(&w)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_runs);
+criterion_main!(benches);

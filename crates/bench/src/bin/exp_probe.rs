@@ -1,0 +1,68 @@
+//! Diagnostic probe: one scenario, full breakdown of where frames, losses
+//! and suspicions go. Not part of the paper's experiment set — a tool for
+//! understanding runs (`cargo run -p byzcast-bench --bin exp_probe -- [n]`).
+
+use byzcast_bench::{default_scenario, default_workload, opts};
+use byzcast_harness::byz_view;
+use byzcast_sim::{NodeId, SimTime};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(120);
+    let opts = opts();
+    let config = default_scenario(n, 0);
+    let workload = default_workload(opts);
+
+    let mut sim = config.build_wire_sim();
+    for (at, sender, payload_id, size) in workload.schedule() {
+        sim.schedule_app_broadcast(at, sender, payload_id, size);
+    }
+    sim.run_until(SimTime::ZERO + workload.horizon());
+
+    let m = sim.metrics();
+    println!("n = {n}, messages = {}", workload.count);
+    println!("frames by kind: {:?}", m.frames_by_kind);
+    println!("bytes by kind:  {:?}", m.bytes_by_kind);
+    println!(
+        "losses: {} collisions, {} noise, {} half-duplex, {} queue drops",
+        m.collision_losses, m.noise_losses, m.half_duplex_losses, m.queue_drops
+    );
+    println!(
+        "receptions: {} ok ({}% of send*degree events lost to collisions)",
+        m.frames_received,
+        (100 * m.collision_losses) / (m.frames_received + m.collision_losses).max(1)
+    );
+
+    let mut forwards = 0u64;
+    let mut served = 0u64;
+    let mut requests = 0u64;
+    let mut finds = 0u64;
+    let mut recovered = 0u64;
+    let mut overlay = 0usize;
+    let mut episodes = 0usize;
+    for i in 0..n as u32 {
+        if let Some(node) = byz_view(&sim, NodeId(i)) {
+            let c = node.counters();
+            forwards += c.data_forwards;
+            served += c.recoveries_served;
+            requests += c.requests_sent;
+            finds += c.finds_sent;
+            recovered += c.recovered_via_request;
+            if node.is_overlay() {
+                overlay += 1;
+            }
+            episodes += node.suspicion_log().episodes().len();
+        }
+    }
+    println!(
+        "protocol: {forwards} forwards, {served} recovery responses, {requests} requests, {finds} finds, {recovered} recovered"
+    );
+    println!("overlay at end: {overlay}/{n}; suspicion episodes: {episodes}");
+    let summary = config.summarize_wire(&sim);
+    println!(
+        "delivery {:.3} (min {:.3}), p99 latency {:.3}s",
+        summary.delivery_ratio, summary.min_delivery_ratio, summary.p99_latency_s
+    );
+}

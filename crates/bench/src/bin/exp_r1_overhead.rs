@@ -1,0 +1,70 @@
+//! Experiment R1 — message overhead vs. network size, failure-free.
+//!
+//! Regenerates the paper's headline comparison: "The use of an overlay
+//! results in a significant reduction in the number of messages" versus
+//! flooding, and versus the f+1-overlays approach whose "price … is that
+//! every message has to be sent f + 1 times even if in practice none of the
+//! devices suffered from a Byzantine fault" (§1).
+
+use byzcast_bench::{banner, default_scenario, default_workload, n_sweep, opts, seeds};
+use byzcast_harness::{aggregate, replicate, report::fnum, ProtocolChoice, Table};
+use byzcast_overlay::OverlayKind;
+
+fn main() {
+    let opts = opts();
+    banner(
+        "R1",
+        "message overhead vs n (failure-free)",
+        "paper §1 (overlay vs flooding vs f+1 overlays), §4 comparison set",
+    );
+    let workload = default_workload(opts);
+    let mut table = Table::new([
+        "n",
+        "protocol",
+        "frames",
+        "kB",
+        "data",
+        "control",
+        "frames/delivery",
+        "delivery",
+    ]);
+    for n in n_sweep(opts) {
+        let base = default_scenario(n, 0);
+        let protocols: Vec<(ProtocolChoice, OverlayKind, &str)> = vec![
+            (ProtocolChoice::Byzcast, OverlayKind::Cds, "byzcast/cds"),
+            (
+                ProtocolChoice::Byzcast,
+                OverlayKind::MisBridges,
+                "byzcast/mis+b",
+            ),
+            (ProtocolChoice::Flooding, OverlayKind::Cds, "flooding"),
+            (
+                ProtocolChoice::MultiOverlay { f: 1 },
+                OverlayKind::Cds,
+                "2-overlays",
+            ),
+            (
+                ProtocolChoice::MultiOverlay { f: 2 },
+                OverlayKind::Cds,
+                "3-overlays",
+            ),
+        ];
+        for (protocol, overlay, _label) in protocols {
+            let mut config = base.clone();
+            config.protocol = protocol;
+            config.byzcast.overlay = overlay;
+            let agg = aggregate(&replicate(&config, &workload, &seeds(opts)));
+            table.add_row([
+                n.to_string(),
+                agg.protocol.clone(),
+                agg.frames_sent.to_string(),
+                fnum(agg.bytes_sent as f64 / 1024.0),
+                agg.data_frames.to_string(),
+                agg.control_frames.to_string(),
+                fnum(agg.frames_per_delivery),
+                fnum(agg.delivery_ratio),
+            ]);
+        }
+    }
+    print!("{table}");
+}

@@ -1,0 +1,44 @@
+//! Experiment R2 — delivery ratio vs. network size, failure-free.
+//!
+//! Semi-reliable broadcast "ensures that most messages will be received by
+//! most of their intended recipients" (§1); this experiment measures how
+//! close each protocol gets on the shared topology sweep, including the
+//! worst per-message ratio.
+
+use byzcast_bench::{banner, default_scenario, default_workload, n_sweep, opts, seeds};
+use byzcast_harness::{aggregate, replicate, report::fnum, ProtocolChoice, Table};
+use byzcast_overlay::OverlayKind;
+
+fn main() {
+    let opts = opts();
+    banner(
+        "R2",
+        "delivery ratio vs n (failure-free)",
+        "paper §2.3 eventual dissemination; §4 failure-free runs",
+    );
+    let workload = default_workload(opts);
+    let mut table = Table::new(["n", "protocol", "delivery", "min-delivery", "collisions"]);
+    for n in n_sweep(opts) {
+        let base = default_scenario(n, 0);
+        let protocols: Vec<(ProtocolChoice, OverlayKind)> = vec![
+            (ProtocolChoice::Byzcast, OverlayKind::Cds),
+            (ProtocolChoice::Byzcast, OverlayKind::MisBridges),
+            (ProtocolChoice::Flooding, OverlayKind::Cds),
+            (ProtocolChoice::MultiOverlay { f: 1 }, OverlayKind::Cds),
+        ];
+        for (protocol, overlay) in protocols {
+            let mut config = base.clone();
+            config.protocol = protocol;
+            config.byzcast.overlay = overlay;
+            let agg = aggregate(&replicate(&config, &workload, &seeds(opts)));
+            table.add_row([
+                n.to_string(),
+                agg.protocol.clone(),
+                fnum(agg.delivery_ratio),
+                fnum(agg.min_delivery_ratio),
+                agg.collisions.to_string(),
+            ]);
+        }
+    }
+    print!("{table}");
+}

@@ -1,0 +1,105 @@
+//! Experiment R5 — overlay quality: size and correct-coverage vs. n.
+//!
+//! §3.3's goal: "the overlay should consist of as few nodes as possible"
+//! while "eventually between every pair of correct nodes p and q there will
+//! be a path consisting of overlay nodes" — measured here for CDS vs MIS+B,
+//! failure-free and with mute claimants.
+
+use byzcast_adversary::MutePolicy;
+use byzcast_bench::{banner, default_scenario, default_workload, n_sweep, opts, seeds};
+use byzcast_harness::{byz_view, report::fnum, AdversaryKind, ScenarioConfig, Table, Workload};
+use byzcast_overlay::analysis::{dominates, induced_connected};
+use byzcast_overlay::OverlayKind;
+use byzcast_sim::{NodeId, SimTime};
+
+struct OverlayQuality {
+    size: usize,
+    /// Correct nodes neither in the overlay nor adjacent (nominal disk) to a
+    /// correct overlay member. Non-zero values are typically fringe nodes
+    /// whose marginal links sit in the fading band — exactly the nodes the
+    /// gossip/recovery path exists for.
+    uncovered: usize,
+    connected: bool,
+}
+
+/// Runs one scenario and measures the final overlay against the ground-truth
+/// adjacency, restricted to correct nodes.
+fn measure(config: &ScenarioConfig, workload: &Workload) -> OverlayQuality {
+    let mut sim = config.build_wire_sim();
+    for (at, sender, payload_id, size) in workload.schedule() {
+        sim.schedule_app_broadcast(at, sender, payload_id, size);
+    }
+    sim.run_until(SimTime::ZERO + workload.horizon());
+    let adv = config.adversary_set();
+    let n = config.n;
+    let correct: Vec<bool> = (0..n as u32).map(|i| !adv.contains(&NodeId(i))).collect();
+    let mut correct_overlay = vec![false; n];
+    let mut size = 0usize;
+    for i in 0..n as u32 {
+        let id = NodeId(i);
+        if let Some(node) = byz_view(&sim, id) {
+            if node.is_overlay() {
+                size += 1;
+                if correct[id.index()] {
+                    correct_overlay[id.index()] = true;
+                }
+            }
+        } else if adv.contains(&id) {
+            size += 1; // standalone adversaries claim membership
+        }
+    }
+    let adj = config.adjacency(sim.positions());
+    let uncovered = (0..n)
+        .filter(|&i| correct[i])
+        .filter(|&i| !correct_overlay[i] && !adj[i].iter().any(|v| correct_overlay[v.index()]))
+        .count();
+    debug_assert_eq!(uncovered == 0, dominates(&adj, &correct_overlay, &correct));
+    OverlayQuality {
+        size,
+        uncovered,
+        connected: induced_connected(&adj, &correct_overlay),
+    }
+}
+
+fn main() {
+    let opts = opts();
+    banner(
+        "R5",
+        "overlay size, domination and connectivity vs n",
+        "paper §3.3 overlay maintenance goals; Lemmas 3.5/3.9",
+    );
+    let workload = default_workload(opts);
+    let mut table = Table::new([
+        "n",
+        "overlay",
+        "mutes",
+        "overlay size",
+        "size/n",
+        "uncovered",
+        "connected",
+    ]);
+    for n in n_sweep(opts) {
+        for overlay in [OverlayKind::Cds, OverlayKind::MisBridges] {
+            for mutes in [0usize, n / 10] {
+                let mut config = default_scenario(n, 1);
+                config.byzcast.overlay = overlay;
+                if mutes > 0 {
+                    config.adversary = Some(AdversaryKind::Mute(MutePolicy::DropData));
+                    config.adversary_count = mutes;
+                }
+                let q = measure(&config, &workload);
+                table.add_row([
+                    n.to_string(),
+                    overlay.name().to_owned(),
+                    mutes.to_string(),
+                    q.size.to_string(),
+                    fnum(q.size as f64 / n as f64),
+                    q.uncovered.to_string(),
+                    q.connected.to_string(),
+                ]);
+            }
+        }
+    }
+    let _ = seeds(opts);
+    print!("{table}");
+}

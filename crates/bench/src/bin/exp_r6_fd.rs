@@ -1,0 +1,101 @@
+//! Experiment R6 — failure-detector reaction to mute overlay nodes.
+//!
+//! Measures the interval-failure-detector properties of §2.2 on a live run:
+//! how quickly mute overlay claimants are suspected by their correct
+//! neighbours (Interval Local Completeness, Lemma 3.7), how rarely correct
+//! nodes are suspected (Interval Strong Accuracy, Lemma 3.8), and whether
+//! the overlay self-heals into a connected correct cover (Lemma 3.9).
+
+use byzcast_adversary::MutePolicy;
+use byzcast_bench::{banner, opts, seeds};
+use byzcast_harness::{byz_view, report::fnum, AdversaryKind, ScenarioConfig, Table, Workload};
+use byzcast_sim::{Field, NodeId, SimConfig, SimDuration, SimTime};
+
+fn main() {
+    let opts = opts();
+    banner(
+        "R6",
+        "suspicion latency / accuracy / overlay healing (n = 60, 6 mutes)",
+        "paper §2.2 interval failure detectors; Lemmas 3.7–3.9",
+    );
+    let n = 60usize;
+    let mutes = 6usize;
+    let workload = Workload {
+        senders: vec![NodeId(0), NodeId(1)],
+        count: if opts.quick { 30 } else { 80 },
+        payload_bytes: 512,
+        start: SimDuration::from_secs(10),
+        interval: SimDuration::from_millis(250),
+        drain: SimDuration::from_secs(20),
+    };
+    let mut table = Table::new([
+        "seed",
+        "detected mutes",
+        "mean latency (s)",
+        "max latency (s)",
+        "false suspicions",
+        "healed cover",
+    ]);
+    for seed in seeds(opts) {
+        let config = ScenarioConfig {
+            seed,
+            n,
+            sim: SimConfig {
+                field: Field::new(800.0, 800.0),
+                ..SimConfig::default()
+            },
+            adversary: Some(AdversaryKind::Mute(MutePolicy::DropData)),
+            adversary_count: mutes,
+            ..ScenarioConfig::default()
+        };
+        let adv = config.adversary_set();
+        let mut sim = config.build_wire_sim();
+        for (at, sender, payload_id, size) in workload.schedule() {
+            sim.schedule_app_broadcast(at, sender, payload_id, size);
+        }
+        sim.run_until(SimTime::ZERO + workload.horizon());
+
+        // First data injection is when the mutes' misbehaviour can begin.
+        let t0 = workload.start;
+        let mut detected: std::collections::BTreeSet<NodeId> = Default::default();
+        let mut latencies: Vec<f64> = Vec::new();
+        let mut false_suspicions = 0u64;
+        for i in 0..n as u32 {
+            let id = NodeId(i);
+            if adv.contains(&id) {
+                continue;
+            }
+            let Some(node) = byz_view(&sim, id) else {
+                continue;
+            };
+            for ep in node.suspicion_log().episodes() {
+                if adv.contains(&ep.suspect) {
+                    if detected.insert(ep.suspect) {
+                        latencies.push(ep.start.saturating_since(SimTime::ZERO + t0).as_secs_f64());
+                    }
+                } else {
+                    false_suspicions += 1;
+                }
+            }
+        }
+        let summary = config.summarize_wire(&sim);
+        let mean = if latencies.is_empty() {
+            0.0
+        } else {
+            latencies.iter().sum::<f64>() / latencies.len() as f64
+        };
+        let max = latencies.iter().copied().fold(0.0f64, f64::max);
+        table.add_row([
+            seed.to_string(),
+            format!("{}/{}", detected.len(), mutes),
+            fnum(mean),
+            fnum(max),
+            false_suspicions.to_string(),
+            summary
+                .overlay_ok
+                .map(|b| b.to_string())
+                .unwrap_or_default(),
+        ]);
+    }
+    print!("{table}");
+}

@@ -1,0 +1,82 @@
+//! Experiment R7 — mobility: delivery and overhead vs. node speed.
+//!
+//! The system model is mobile ("due to mobility, the physical structure of
+//! the network is constantly evolving", §1); this experiment sweeps random-
+//! waypoint speed and compares the overlay protocol (whose neighbour tables
+//! and roles must track the churn) against flooding (which is oblivious to
+//! it).
+
+use byzcast_bench::{banner, default_workload, opts, seeds};
+use byzcast_harness::{
+    aggregate, replicate, report::fnum, MobilityChoice, ProtocolChoice, ScenarioConfig, Table,
+};
+use byzcast_sim::{Field, SimConfig, SimDuration};
+
+fn main() {
+    let opts = opts();
+    banner(
+        "R7",
+        "random-waypoint mobility sweep (n = 80, 800 m field)",
+        "paper §2 system model (mobility); §3.5 mobile dissemination bound",
+    );
+    let workload = default_workload(opts);
+    let speeds: &[(f64, f64)] = if opts.quick {
+        &[(0.0, 0.0), (5.0, 10.0)]
+    } else {
+        &[
+            (0.0, 0.0),
+            (1.0, 3.0),
+            (3.0, 8.0),
+            (5.0, 10.0),
+            (10.0, 20.0),
+        ]
+    };
+    let mut table = Table::new([
+        "speed (m/s)",
+        "protocol",
+        "delivery",
+        "min-delivery",
+        "frames",
+        "requests",
+        "p99 (s)",
+    ]);
+    for &(lo, hi) in speeds {
+        for protocol in [ProtocolChoice::Byzcast, ProtocolChoice::Flooding] {
+            let mobility = if hi == 0.0 {
+                MobilityChoice::Static
+            } else {
+                MobilityChoice::Waypoint {
+                    min_mps: lo,
+                    max_mps: hi,
+                    pause: SimDuration::from_secs(2),
+                }
+            };
+            let config = ScenarioConfig {
+                seed: 0,
+                n: 80,
+                sim: SimConfig {
+                    field: Field::new(800.0, 800.0),
+                    ..SimConfig::default()
+                },
+                mobility,
+                protocol: protocol.clone(),
+                ..ScenarioConfig::default()
+            };
+            let agg = aggregate(&replicate(&config, &workload, &seeds(opts)));
+            table.add_row([
+                if hi == 0.0 {
+                    "static".to_owned()
+                } else {
+                    format!("{lo}-{hi}")
+                },
+                agg.protocol.clone(),
+                fnum(agg.delivery_ratio),
+                fnum(agg.min_delivery_ratio),
+                agg.frames_sent.to_string(),
+                agg.requests.to_string(),
+                fnum(agg.p99_latency_s),
+            ]);
+        }
+    }
+    print!("{table}");
+}

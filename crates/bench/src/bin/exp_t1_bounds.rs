@@ -1,0 +1,86 @@
+//! Experiment T1 — the §3.5 analysis bounds, on the paper's worst case.
+//!
+//! Figure 5 of the paper shows the adversarial extreme: a line where *every
+//! overlay node is Byzantine*, so "all messages will be disseminated using
+//! the gossip-request mechanism" and dissemination takes at most
+//! `max_timeout · n/2` in a static network (Theorem 3.4 gives
+//! `max_timeout · (n − 1)` for the mobile case). The buffer bound is
+//! `max_timeout · δ` messages (static).
+//!
+//! We build exactly that topology: nodes on a line, every odd node a mute
+//! Byzantine claiming dominator status, every even node correct — the
+//! correct nodes form a connected graph through each other (spacing chosen
+//! so nodes two positions apart are still in range), and measure the slowest
+//! accept against the bounds.
+
+use byzcast_bench::{banner, opts};
+use byzcast_harness::{byz_view, figure5_worst_case, report::fnum, Table, Workload};
+use byzcast_sim::{NodeId, SimDuration, SimTime};
+
+fn main() {
+    let opts = opts();
+    banner(
+        "T1",
+        "dissemination-time and buffer bounds on the Fig. 5 worst case",
+        "paper §3.5 (Theorem 3.4, static n/2 bound, buffer bound)",
+    );
+    // Number of *correct* nodes per chain (total n = 2·correct − 1).
+    let sizes: &[usize] = if opts.quick { &[5, 9] } else { &[5, 9, 13, 17] };
+    let mut table = Table::new([
+        "n",
+        "delivery",
+        "max latency (s)",
+        "static bound (s)",
+        "thm 3.4 bound (s)",
+        "within bounds",
+        "buffer high-water",
+        "buffer bound",
+    ]);
+    for &correct in sizes {
+        let config = figure5_worst_case(correct, 1);
+        let n = config.n;
+        let workload = Workload {
+            senders: vec![NodeId(0)],
+            count: if opts.quick { 5 } else { 10 },
+            payload_bytes: 256,
+            start: SimDuration::from_secs(8),
+            interval: SimDuration::from_secs(2),
+            drain: SimDuration::from_secs(120),
+        };
+        let mut sim = config.build_wire_sim();
+        for (at, sender, payload_id, size) in workload.schedule() {
+            sim.schedule_app_broadcast(at, sender, payload_id, size);
+        }
+        sim.run_until(SimTime::ZERO + workload.horizon());
+        let summary = config.summarize_wire(&sim);
+
+        // β: the air time of the largest frame at the configured bit rate.
+        let beta = SimDuration::from_micros(config.sim.radio.air_time_us(2700));
+        let max_timeout = config.byzcast.max_timeout(beta);
+        let static_bound = max_timeout.saturating_mul(n as u64 / 2).as_secs_f64();
+        let mobile_bound = max_timeout.saturating_mul(n as u64 - 1).as_secs_f64();
+        let within = summary.max_latency_s <= static_bound && summary.max_latency_s <= mobile_bound;
+
+        // Buffer bound (mobile form, the looser of the two):
+        // max_timeout · (n − 1) · δ messages.
+        let buffer_bound =
+            (max_timeout.as_secs_f64() * (n as f64 - 1.0) * workload.delta()).ceil() as usize;
+        let mut high_water = 0usize;
+        for i in 0..n as u32 {
+            if let Some(node) = byz_view(&sim, NodeId(i)) {
+                high_water = high_water.max(node.store().high_water());
+            }
+        }
+        table.add_row([
+            n.to_string(),
+            fnum(summary.delivery_ratio),
+            fnum(summary.max_latency_s),
+            fnum(static_bound),
+            fnum(mobile_bound),
+            within.to_string(),
+            high_water.to_string(),
+            buffer_bound.to_string(),
+        ]);
+    }
+    print!("{table}");
+}

@@ -1,0 +1,113 @@
+//! # byzcast-bench — experiment binaries and Criterion micro-benchmarks
+//!
+//! One `exp_*` binary per reconstructed experiment of the paper's evaluation
+//! (see `EXPERIMENTS.md` at the repository root for the index and
+//! provenance), plus Criterion benches for the protocol's hot paths.
+//!
+//! Every experiment binary accepts `--quick` to run a reduced sweep (fewer
+//! seeds, fewer points) and prints aligned text tables to stdout.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use byzcast_harness::{ScenarioConfig, Workload};
+use byzcast_sim::{Field, NodeId, SimConfig, SimDuration};
+
+/// Options shared by all experiment binaries.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExpOpts {
+    /// Reduced sweep for smoke-testing.
+    pub quick: bool,
+}
+
+/// Parses experiment options from the process arguments.
+pub fn opts() -> ExpOpts {
+    ExpOpts {
+        quick: std::env::args().any(|a| a == "--quick" || a == "-q"),
+    }
+}
+
+/// Replication seeds.
+pub fn seeds(opts: ExpOpts) -> Vec<u64> {
+    if opts.quick {
+        vec![1]
+    } else {
+        vec![1, 2, 3]
+    }
+}
+
+/// The node-count sweep of experiments R1–R3/R5 (paper-era densities on a
+/// 1000 m × 1000 m field with 250 m range).
+pub fn n_sweep(opts: ExpOpts) -> Vec<usize> {
+    if opts.quick {
+        vec![40, 80]
+    } else {
+        vec![40, 60, 80, 100, 120, 140, 160]
+    }
+}
+
+/// The standard scenario: 1000 m × 1000 m field, default radio (250 m range,
+/// mild fading and background noise), static uniform placement.
+pub fn default_scenario(n: usize, seed: u64) -> ScenarioConfig {
+    ScenarioConfig {
+        seed,
+        n,
+        sim: SimConfig {
+            field: Field::new(1000.0, 1000.0),
+            ..SimConfig::default()
+        },
+        ..ScenarioConfig::default()
+    }
+}
+
+/// The standard workload: a 512 B message stream at 8 msg/s from 4 senders
+/// after a 10 s warm-up (overlay convergence), with a drain tail so
+/// stragglers can recover. The stream is long enough that steady-state
+/// per-message cost dominates the fixed gossip/beacon background.
+pub fn default_workload(opts: ExpOpts) -> Workload {
+    Workload {
+        senders: vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)],
+        count: if opts.quick { 40 } else { 120 },
+        payload_bytes: 512,
+        start: SimDuration::from_secs(10),
+        interval: SimDuration::from_millis(125),
+        drain: SimDuration::from_secs(12),
+    }
+}
+
+/// Prints the experiment banner with its provenance line.
+pub fn banner(id: &str, title: &str, provenance: &str) {
+    println!("== {id}: {title}");
+    println!("   provenance: {provenance}");
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweeps_are_subsets() {
+        let q = ExpOpts { quick: true };
+        let f = ExpOpts { quick: false };
+        assert!(seeds(q).len() < seeds(f).len());
+        for n in n_sweep(q) {
+            assert!(n_sweep(f).contains(&n));
+        }
+    }
+
+    #[test]
+    fn default_scenario_is_paper_geometry() {
+        let s = default_scenario(100, 1);
+        assert_eq!(s.n, 100);
+        assert_eq!(s.sim.field.width, 1000.0);
+        assert_eq!(s.sim.radio.range_m, 250.0);
+    }
+
+    #[test]
+    fn default_workload_has_warmup() {
+        let w = default_workload(ExpOpts::default());
+        assert!(w.start >= SimDuration::from_secs(5));
+        assert_eq!(w.payload_bytes, 512);
+    }
+}

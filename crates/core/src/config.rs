@@ -1,0 +1,161 @@
+//! Protocol configuration, including the paper's §3.5 timing quantities.
+
+use byzcast_fd::{MuteConfig, TrustConfig, VerboseConfig};
+use byzcast_overlay::OverlayKind;
+use byzcast_sim::SimDuration;
+
+use crate::stability::PurgePolicy;
+
+/// Configuration of a byzcast protocol node.
+#[derive(Clone, Debug)]
+pub struct ByzcastConfig {
+    /// `gossip_timeout` — "the time between two consecutive gossip messages
+    /// by a correct node".
+    pub gossip_period: SimDuration,
+    /// `request_timeout` — "the time between receiving a gossip message and
+    /// sending a request message" (requests are batched on this delay).
+    pub request_timeout: SimDuration,
+    /// `rebroadcast_timeout` — "the time between getting a request message
+    /// and sending the message that fits the requested message". Responders
+    /// draw a uniform delay in `[0, rebroadcast_timeout)` and suppress their
+    /// response if another holder's rebroadcast is overheard first.
+    pub rebroadcast_timeout: SimDuration,
+    /// How often overlay beacons are sent (and the overlay role recomputed).
+    pub beacon_period: SimDuration,
+    /// How often the failure detectors are ticked (deadline resolution).
+    pub fd_tick: SimDuration,
+    /// How long received message bodies are buffered before purging.
+    pub purge_after: SimDuration,
+    /// Whether bodies are purged by timeout alone (the paper's choice) or
+    /// as soon as every neighbour is observed holding them (the paper's
+    /// deferred "stability detection mechanism", with the timeout as
+    /// backstop).
+    pub purge_policy: PurgePolicy,
+    /// Which overlay maintenance protocol to run.
+    pub overlay: OverlayKind,
+    /// MUTE failure detector parameters.
+    pub mute: MuteConfig,
+    /// VERBOSE failure detector parameters.
+    pub verbose: VerboseConfig,
+    /// TRUST failure detector parameters.
+    pub trust: TrustConfig,
+    /// Whether to aggregate gossip entries into one packet per period
+    /// (`false` reproduces the unaggregated ablation of experiment R8).
+    pub aggregate_gossip: bool,
+    /// Maximum gossip entries per packet when aggregating.
+    pub max_gossip_entries: usize,
+    /// How many gossip rounds each received message is advertised for. The
+    /// recovery window per message is roughly `gossip_advertise_rounds ×
+    /// gossip_period`; a node re-hearing a gossip for a message it holds
+    /// echoes it for one extra round (pseudo-code lines 34–37), so entries
+    /// keep circulating where neighbours still miss them.
+    pub gossip_advertise_rounds: u32,
+    /// Maximum number of REQUEST_MSG retries per missing message.
+    pub max_requests_per_msg: u32,
+    /// Minimum spacing between retries for the same missing message.
+    pub request_retry_spacing: SimDuration,
+}
+
+impl Default for ByzcastConfig {
+    fn default() -> Self {
+        ByzcastConfig {
+            gossip_period: SimDuration::from_millis(1000),
+            request_timeout: SimDuration::from_millis(500),
+            rebroadcast_timeout: SimDuration::from_millis(50),
+            beacon_period: SimDuration::from_millis(1000),
+            fd_tick: SimDuration::from_millis(100),
+            purge_after: SimDuration::from_secs(12),
+            purge_policy: PurgePolicy::Timeout,
+            overlay: OverlayKind::Cds,
+            mute: MuteConfig::default(),
+            verbose: VerboseConfig::default(),
+            trust: TrustConfig::default(),
+            aggregate_gossip: true,
+            max_gossip_entries: 40,
+            gossip_advertise_rounds: 3,
+            max_requests_per_msg: 5,
+            request_retry_spacing: SimDuration::from_millis(1000),
+        }
+    }
+}
+
+impl ByzcastConfig {
+    /// The paper's `max_timeout = gossip_timeout + request_timeout +
+    /// rebroadcast_timeout + 3β`, where β is the transmission latency.
+    pub fn max_timeout(&self, beta: SimDuration) -> SimDuration {
+        self.gossip_period
+            + self.request_timeout
+            + self.rebroadcast_timeout
+            + beta.saturating_mul(3)
+    }
+
+    /// Validates cross-field constraints.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.gossip_period == SimDuration::ZERO {
+            return Err("gossip_period must be positive".into());
+        }
+        if self.beacon_period == SimDuration::ZERO {
+            return Err("beacon_period must be positive".into());
+        }
+        if self.fd_tick == SimDuration::ZERO {
+            return Err("fd_tick must be positive".into());
+        }
+        if self.max_gossip_entries == 0 {
+            return Err("max_gossip_entries must be positive".into());
+        }
+        if self.gossip_advertise_rounds == 0 {
+            return Err("gossip_advertise_rounds must be positive".into());
+        }
+        if self.purge_after < self.gossip_period {
+            return Err("purge_after must be at least one gossip period".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(ByzcastConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn max_timeout_formula() {
+        let c = ByzcastConfig {
+            gossip_period: SimDuration::from_millis(1000),
+            request_timeout: SimDuration::from_millis(500),
+            rebroadcast_timeout: SimDuration::from_millis(50),
+            ..ByzcastConfig::default()
+        };
+        let beta = SimDuration::from_millis(10);
+        assert_eq!(c.max_timeout(beta), SimDuration::from_millis(1580));
+    }
+
+    #[test]
+    fn validation_catches_degenerate_values() {
+        let base = ByzcastConfig::default();
+        let bad = ByzcastConfig {
+            gossip_period: SimDuration::ZERO,
+            ..base.clone()
+        };
+        assert!(bad.validate().is_err());
+        let bad = ByzcastConfig {
+            max_gossip_entries: 0,
+            ..base.clone()
+        };
+        assert!(bad.validate().is_err());
+        let bad = ByzcastConfig {
+            purge_after: SimDuration::from_millis(1),
+            ..base.clone()
+        };
+        assert!(bad.validate().is_err());
+        let bad = ByzcastConfig {
+            fd_tick: SimDuration::ZERO,
+            ..base
+        };
+        assert!(bad.validate().is_err());
+    }
+}

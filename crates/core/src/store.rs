@@ -1,0 +1,223 @@
+//! The received-message buffer with timeout-based purging.
+//!
+//! "Messages can be purged either after a timeout, or by using a stability
+//! detection mechanism. In this work, we have chosen to use timeout based
+//! purging due to its simplicity." (paper §3.2.2)
+//!
+//! §3.5 bounds the buffer a node needs: `max_timeout · δ` messages in a
+//! static network and `max_timeout · (n − 1) · δ` in a mobile one (δ = new
+//! messages injected per second). The store tracks its own high-water mark so
+//! experiment T1 can compare occupancy against that bound.
+
+use std::collections::BTreeMap;
+
+use byzcast_sim::{SimDuration, SimTime};
+
+use crate::message::{DataMsg, MessageId};
+
+/// A stored message with its reception time.
+#[derive(Clone, Copy, Debug)]
+pub struct StoredMsg {
+    /// The message (TTL normalized to 1; TTLs are hop counters, not state).
+    pub msg: DataMsg,
+    /// When this node first received (or originated) it.
+    pub received_at: SimTime,
+}
+
+/// The per-node message buffer.
+///
+/// ```
+/// use byzcast_core::{MessageStore, message::DataMsg};
+/// use byzcast_crypto::{KeyRegistry, SignerId, SimScheme};
+/// use byzcast_sim::{SimDuration, SimTime};
+///
+/// let keys: KeyRegistry<SimScheme> = KeyRegistry::generate(1, 1);
+/// let m = DataMsg::sign(&keys.signer(SignerId(0)), 1, 42, 128);
+/// let mut store = MessageStore::new(SimDuration::from_secs(10));
+/// assert!(store.insert(SimTime::from_secs(1), m));   // first reception
+/// assert!(!store.insert(SimTime::from_secs(2), m));  // duplicate
+/// store.purge(SimTime::from_secs(20));
+/// assert!(!store.has(m.id));  // body purged…
+/// assert!(store.seen(m.id));  // …but still deduplicated
+/// ```
+#[derive(Debug)]
+pub struct MessageStore {
+    hold_for: SimDuration,
+    messages: BTreeMap<MessageId, StoredMsg>,
+    /// Ids of messages already seen, kept past purging so that a purged
+    /// message re-received late is not delivered twice. Bounded separately.
+    seen: BTreeMap<MessageId, SimTime>,
+    seen_hold_for: SimDuration,
+    high_water: usize,
+}
+
+impl MessageStore {
+    /// Creates a store that purges message bodies after `hold_for` and
+    /// seen-ids after `4 × hold_for`.
+    pub fn new(hold_for: SimDuration) -> Self {
+        MessageStore {
+            hold_for,
+            messages: BTreeMap::new(),
+            seen: BTreeMap::new(),
+            seen_hold_for: hold_for.saturating_mul(4),
+            high_water: 0,
+        }
+    }
+
+    /// Whether the message body is currently buffered.
+    pub fn has(&self, id: MessageId) -> bool {
+        self.messages.contains_key(&id)
+    }
+
+    /// Whether the message has ever been seen (even if since purged).
+    pub fn seen(&self, id: MessageId) -> bool {
+        self.seen.contains_key(&id)
+    }
+
+    /// Inserts a message received at `now`. Returns `true` if it is new
+    /// (first reception → deliver/forward), `false` on duplicates.
+    pub fn insert(&mut self, now: SimTime, msg: DataMsg) -> bool {
+        let id = msg.id;
+        if self.seen.contains_key(&id) {
+            return false;
+        }
+        self.seen.insert(id, now);
+        self.messages.insert(
+            id,
+            StoredMsg {
+                msg: msg.with_ttl(1),
+                received_at: now,
+            },
+        );
+        self.high_water = self.high_water.max(self.messages.len());
+        true
+    }
+
+    /// The buffered message body, if present.
+    pub fn get(&self, id: MessageId) -> Option<&StoredMsg> {
+        self.messages.get(&id)
+    }
+
+    /// Removes one body early (stability-based purging); the seen-id stays
+    /// so late duplicates are still filtered.
+    pub fn remove(&mut self, id: MessageId) {
+        self.messages.remove(&id);
+    }
+
+    /// Purges expired bodies and seen-ids.
+    pub fn purge(&mut self, now: SimTime) {
+        let hold = self.hold_for;
+        self.messages
+            .retain(|_, s| now.saturating_since(s.received_at) <= hold);
+        let seen_hold = self.seen_hold_for;
+        self.seen
+            .retain(|_, &mut t| now.saturating_since(t) <= seen_hold);
+    }
+
+    /// Currently buffered message ids, oldest-id first.
+    pub fn ids(&self) -> impl Iterator<Item = MessageId> + '_ {
+        self.messages.keys().copied()
+    }
+
+    /// Iterates buffered messages.
+    pub fn iter(&self) -> impl Iterator<Item = &StoredMsg> {
+        self.messages.values()
+    }
+
+    /// Number of buffered message bodies.
+    pub fn len(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// Whether no bodies are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.messages.is_empty()
+    }
+
+    /// The maximum number of bodies ever buffered simultaneously — compared
+    /// against the paper's §3.5 buffer bound in experiment T1.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use byzcast_crypto::{KeyRegistry, SignerId, SimScheme};
+
+    fn msg(seq: u64) -> DataMsg {
+        let reg: KeyRegistry<SimScheme> = KeyRegistry::generate(1, 1);
+        DataMsg::sign(&reg.signer(SignerId(0)), seq, seq * 10, 100)
+    }
+
+    fn store() -> MessageStore {
+        MessageStore::new(SimDuration::from_secs(10))
+    }
+
+    #[test]
+    fn first_insert_is_new_duplicates_are_not() {
+        let mut s = store();
+        let t = SimTime::from_secs(1);
+        let m = msg(1);
+        assert!(s.insert(t, m));
+        assert!(!s.insert(t, m));
+        assert!(s.has(m.id));
+        assert!(s.seen(m.id));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn purge_removes_old_bodies_but_remembers_ids() {
+        let mut s = store();
+        let m = msg(1);
+        s.insert(SimTime::from_secs(1), m);
+        s.purge(SimTime::from_secs(12));
+        assert!(!s.has(m.id), "body survived purge");
+        assert!(s.seen(m.id), "seen-id purged too early");
+        // Re-receiving a purged message is still a duplicate.
+        assert!(!s.insert(SimTime::from_secs(13), m));
+    }
+
+    #[test]
+    fn seen_ids_eventually_expire_too() {
+        let mut s = store();
+        let m = msg(1);
+        s.insert(SimTime::from_secs(1), m);
+        s.purge(SimTime::from_secs(100)); // > 4 × hold
+        assert!(!s.seen(m.id));
+    }
+
+    #[test]
+    fn high_water_tracks_peak_occupancy() {
+        let mut s = store();
+        for seq in 0..5 {
+            s.insert(SimTime::from_secs(1), msg(seq));
+        }
+        s.purge(SimTime::from_secs(20));
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.high_water(), 5);
+    }
+
+    #[test]
+    fn stored_ttl_is_normalized() {
+        let mut s = store();
+        let m = msg(1).with_ttl(2);
+        s.insert(SimTime::from_secs(1), m);
+        assert_eq!(s.get(m.id).unwrap().msg.ttl, 1);
+    }
+
+    #[test]
+    fn ids_and_iter_agree() {
+        let mut s = store();
+        for seq in [3u64, 1, 2] {
+            s.insert(SimTime::from_secs(1), msg(seq));
+        }
+        let ids: Vec<_> = s.ids().collect();
+        assert_eq!(ids.len(), 3);
+        assert_eq!(s.iter().count(), 3);
+        // BTreeMap ordering: sorted by id.
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+        assert!(!s.is_empty());
+    }
+}

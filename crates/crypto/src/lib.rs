@@ -1,0 +1,153 @@
+//! # byzcast-crypto — signatures and hashing for the broadcast protocol
+//!
+//! The paper assumes "each device p holds a private key k_p … with which p can
+//! digitally sign every message it sends" (DSA in their implementation) and
+//! that "each device can obtain the public key of every other device". This
+//! crate provides that substrate:
+//!
+//! * [`sha256()`] — a from-scratch FIPS 180-4 SHA-256, validated against NIST
+//!   test vectors, plus HMAC-SHA256.
+//! * [`schnorr`] — a real Schnorr signature scheme over a 62-bit prime-order
+//!   subgroup. The *algorithm* is the genuine article (commit–challenge–
+//!   response, Fiat–Shamir); the *parameters* are toy-sized so millions of
+//!   signatures per simulated run stay cheap. **Not secure for real use.**
+//! * [`sim_sig`] — a simulation-enforced scheme: signatures are HMACs keyed
+//!   by a per-node secret that only the signing node's [`Signer`] holds, so
+//!   unforgeability holds *by construction inside the simulation*. This is
+//!   the fast default for large experiments.
+//! * [`registry`] — the public-key directory the paper assumes.
+//!
+//! Both schemes implement the [`SignatureScheme`] trait, so protocol code is
+//! generic over which one a run uses.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod registry;
+pub mod schnorr;
+pub mod sha256;
+pub mod sim_sig;
+
+pub use registry::KeyRegistry;
+pub use schnorr::{SchnorrScheme, SchnorrSigner, SchnorrVerifier};
+pub use sha256::{hmac_sha256, sha256, Digest};
+pub use sim_sig::{SimScheme, SimSigner, SimVerifier};
+
+/// A detached signature over a byte string.
+///
+/// Fixed-size so wire-size accounting is uniform: 40 bytes, the ballpark of a
+/// DSA signature (2 × 160-bit values) the paper's implementation used.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Signature(pub [u8; 40]);
+
+impl Signature {
+    /// Wire size of a signature in bytes.
+    pub const WIRE_SIZE: usize = 40;
+
+    /// The all-zero (obviously invalid) signature, useful for tests and for
+    /// Byzantine forgers.
+    pub const fn zero() -> Self {
+        Signature([0u8; 40])
+    }
+}
+
+impl std::fmt::Debug for Signature {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "sig:{:02x}{:02x}{:02x}{:02x}…",
+            self.0[0], self.0[1], self.0[2], self.0[3]
+        )
+    }
+}
+
+impl Default for Signature {
+    fn default() -> Self {
+        Signature::zero()
+    }
+}
+
+/// Identifies the signing node. Mirrors `byzcast_sim::NodeId` without
+/// depending on it, so this crate stays free-standing.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct SignerId(pub u32);
+
+/// Signs byte strings on behalf of one node.
+pub trait Signer {
+    /// The id this signer signs as.
+    fn id(&self) -> SignerId;
+    /// Produces a signature over `data`.
+    fn sign(&self, data: &[u8]) -> Signature;
+}
+
+/// Verifies signatures of any node, given the public-key directory.
+pub trait Verifier {
+    /// Whether `sig` is a valid signature by `signer` over `data`.
+    fn verify(&self, signer: SignerId, data: &[u8], sig: &Signature) -> bool;
+}
+
+/// A complete signature scheme: mints per-node signers and a shared verifier.
+///
+/// The scheme owns key generation so that a simulation can hand each node its
+/// signer while every node shares one verifier (the paper's public-key
+/// infrastructure assumption).
+pub trait SignatureScheme {
+    /// The per-node signer type.
+    type Signer: Signer;
+    /// The shared verifier type.
+    type Verifier: Verifier + Clone;
+
+    /// Generates key material for nodes `0..n` from `seed`.
+    fn generate(seed: u64, n: u32) -> Self;
+    /// The signer for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    fn signer(&self, id: SignerId) -> Self::Signer;
+    /// The shared verifier.
+    fn verifier(&self) -> Self::Verifier;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signature_debug_is_compact_and_nonempty() {
+        let s = Signature::zero();
+        let d = format!("{s:?}");
+        assert!(d.starts_with("sig:"));
+        assert!(!d.is_empty());
+    }
+
+    fn exercise_scheme<S: SignatureScheme>() {
+        let scheme = S::generate(42, 4);
+        let s0 = scheme.signer(SignerId(0));
+        let s1 = scheme.signer(SignerId(1));
+        let v = scheme.verifier();
+
+        let sig = s0.sign(b"hello");
+        assert!(v.verify(SignerId(0), b"hello", &sig));
+        // Wrong data.
+        assert!(!v.verify(SignerId(0), b"hullo", &sig));
+        // Wrong claimed signer (impersonation).
+        assert!(!v.verify(SignerId(1), b"hello", &sig));
+        // A different node's signature over the same data differs.
+        let sig1 = s1.sign(b"hello");
+        assert_ne!(sig, sig1);
+        assert!(v.verify(SignerId(1), b"hello", &sig1));
+        // Garbage never verifies.
+        assert!(!v.verify(SignerId(0), b"hello", &Signature::zero()));
+    }
+
+    #[test]
+    fn sim_scheme_contract() {
+        exercise_scheme::<SimScheme>();
+    }
+
+    #[test]
+    fn schnorr_scheme_contract() {
+        exercise_scheme::<SchnorrScheme>();
+    }
+}

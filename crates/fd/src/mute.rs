@@ -1,0 +1,545 @@
+//! The MUTE failure detector (classes ◇P_mute and I_mute).
+//!
+//! "The goal of the MUTE failure detector is to detect when a process fails
+//! to send a message with a header it is supposed to." Its single interface
+//! method is `expect(message header, set of nodes, one or all)`; the
+//! suggested implementation — which this module follows — "consists of
+//! setting a timeout for each message reported to the failure detector with
+//! the expect method. When the timer times out, the corresponding nodes that
+//! failed to send anticipated messages are suspected for a certain period of
+//! time."
+//!
+//! The protocol feeds every received header into [`MuteDetector::observe`];
+//! [`MuteDetector::tick`] fires deadlines and expires old suspicions (the
+//! aging mechanism that lets the detector "recover from mistakes").
+
+use std::collections::HashMap;
+
+use byzcast_sim::{NodeId, SimDuration, SimTime};
+
+use crate::header::{HeaderPattern, MsgHeader};
+
+/// Whether all listed nodes must send the expected message, or any one of
+/// them suffices.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ExpectMode {
+    /// One sender from the set satisfies the expectation (`ANY`/`ONE`).
+    One,
+    /// Every node in the set must send the message (`ALL`).
+    All,
+}
+
+/// MUTE detector parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MuteConfig {
+    /// How long after `expect` a matching message must arrive.
+    pub expect_timeout: SimDuration,
+    /// Deadline misses at which a node becomes suspected. Values above one
+    /// keep single collision-induced losses from suspecting honest
+    /// neighbours, while persistently mute nodes accumulate misses with
+    /// every expectation ("the suspicion counters for each node are
+    /// periodically decremented" — the paper's aging mechanism implies
+    /// counters rather than one-shot suspicion).
+    pub threshold: u32,
+    /// How often miss counters are decremented by one.
+    pub decay_interval: SimDuration,
+    /// How long a node that crossed the threshold stays suspected.
+    pub suspicion_duration: SimDuration,
+    /// Cap on simultaneously tracked expectations (oldest dropped beyond it),
+    /// bounding memory against verbose adversaries.
+    pub max_expectations: usize,
+}
+
+impl Default for MuteConfig {
+    fn default() -> Self {
+        MuteConfig {
+            expect_timeout: SimDuration::from_millis(4000),
+            threshold: 4,
+            decay_interval: SimDuration::from_secs(8),
+            suspicion_duration: SimDuration::from_secs(10),
+            max_expectations: 4096,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Expectation {
+    pattern: HeaderPattern,
+    mode: ExpectMode,
+    deadline: SimTime,
+    /// Nodes that have not yet satisfied the expectation.
+    waiting_on: Vec<NodeId>,
+    satisfied: bool,
+}
+
+/// The MUTE failure detector of one node.
+///
+/// ```
+/// use byzcast_fd::{ExpectMode, HeaderPattern, MuteConfig, MuteDetector};
+/// use byzcast_sim::{NodeId, SimDuration, SimTime};
+///
+/// let mut fd = MuteDetector::new(MuteConfig {
+///     expect_timeout: SimDuration::from_millis(100),
+///     threshold: 1,
+///     ..MuteConfig::default()
+/// });
+/// let t = SimTime::from_secs(1);
+/// fd.expect(t, HeaderPattern::data_msg(NodeId(9), 1), &[NodeId(5)], ExpectMode::All);
+/// // Node 5 never sends the expected message:
+/// let late = t + SimDuration::from_millis(200);
+/// fd.tick(late);
+/// assert!(fd.is_suspected(NodeId(5), late));
+/// ```
+#[derive(Debug)]
+pub struct MuteDetector {
+    config: MuteConfig,
+    expectations: Vec<Expectation>,
+    /// Node → instant until which it is suspected.
+    suspicions: HashMap<NodeId, SimTime>,
+    /// Aged per-node miss counters compared against the threshold.
+    counters: HashMap<NodeId, u32>,
+    last_decay: SimTime,
+    /// Total deadline misses per node (diagnostic; not aged).
+    miss_counts: HashMap<NodeId, u64>,
+}
+
+impl MuteDetector {
+    /// Creates a detector.
+    pub fn new(config: MuteConfig) -> Self {
+        MuteDetector {
+            config,
+            expectations: Vec::new(),
+            suspicions: HashMap::new(),
+            counters: HashMap::new(),
+            last_decay: SimTime::ZERO,
+            miss_counts: HashMap::new(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &MuteConfig {
+        &self.config
+    }
+
+    /// Registers an expectation: a message matching `pattern` should be sent
+    /// by `nodes` (per `mode`) within the expect timeout.
+    ///
+    /// Duplicate registrations of an identical live `(pattern, mode)` are
+    /// merged, keeping the earlier deadline.
+    pub fn expect(
+        &mut self,
+        now: SimTime,
+        pattern: HeaderPattern,
+        nodes: &[NodeId],
+        mode: ExpectMode,
+    ) {
+        if nodes.is_empty() {
+            return;
+        }
+        if let Some(existing) = self
+            .expectations
+            .iter_mut()
+            .find(|e| !e.satisfied && e.pattern == pattern && e.mode == mode)
+        {
+            // Merge: add any new nodes to the waiting set.
+            for &n in nodes {
+                if !existing.waiting_on.contains(&n) {
+                    existing.waiting_on.push(n);
+                }
+            }
+            return;
+        }
+        if self.expectations.len() >= self.config.max_expectations {
+            self.expectations.remove(0);
+        }
+        self.expectations.push(Expectation {
+            pattern,
+            mode,
+            deadline: now + self.config.expect_timeout,
+            waiting_on: nodes.to_vec(),
+            satisfied: false,
+        });
+    }
+
+    /// Feeds an observed message header sent by `from`. Satisfies matching
+    /// expectations.
+    pub fn observe(&mut self, header: &MsgHeader, from: NodeId) {
+        for e in &mut self.expectations {
+            if e.satisfied || !e.pattern.matches(header) {
+                continue;
+            }
+            match e.mode {
+                ExpectMode::One => {
+                    if e.waiting_on.contains(&from) {
+                        e.satisfied = true;
+                    }
+                }
+                ExpectMode::All => {
+                    e.waiting_on.retain(|&n| n != from);
+                    if e.waiting_on.is_empty() {
+                        e.satisfied = true;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Marks every expectation matching `header` satisfied regardless of
+    /// sender — used when the awaited message was *obtained* through some
+    /// other channel (e.g. a different holder answered the recovery request
+    /// first), which discharges the original sender's obligation.
+    pub fn satisfy(&mut self, header: &MsgHeader) {
+        for e in &mut self.expectations {
+            if !e.satisfied && e.pattern.matches(header) {
+                e.satisfied = true;
+            }
+        }
+    }
+
+    /// Fires expired deadlines (counting misses against the nodes that
+    /// missed them, suspecting those past the threshold), ages counters, and
+    /// expires old suspicions.
+    pub fn tick(&mut self, now: SimTime) {
+        let mut missers: Vec<NodeId> = Vec::new();
+        self.expectations.retain(|e| {
+            if e.satisfied {
+                return false;
+            }
+            if e.deadline > now {
+                return true;
+            }
+            // Deadline missed: every node still waited-on takes a miss.
+            missers.extend(e.waiting_on.iter().copied());
+            false
+        });
+        for n in missers {
+            *self.miss_counts.entry(n).or_insert(0) += 1;
+            let c = self.counters.entry(n).or_insert(0);
+            *c += 1;
+            if *c >= self.config.threshold {
+                let until = now + self.config.suspicion_duration;
+                let entry = self.suspicions.entry(n).or_insert(until);
+                *entry = (*entry).max(until);
+            }
+        }
+        // Aging: decrement counters periodically so sporadic collision
+        // losses never accumulate to the threshold.
+        while now.saturating_since(self.last_decay) >= self.config.decay_interval {
+            self.last_decay = self.last_decay + self.config.decay_interval;
+            self.counters.retain(|_, c| {
+                *c = c.saturating_sub(1);
+                *c > 0
+            });
+        }
+        self.suspicions.retain(|_, until| *until > now);
+    }
+
+    /// Whether `node` is currently suspected.
+    pub fn is_suspected(&self, node: NodeId, now: SimTime) -> bool {
+        self.suspicions.get(&node).is_some_and(|&until| until > now)
+    }
+
+    /// The nodes currently suspected, in id order.
+    pub fn suspects(&self, now: SimTime) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self
+            .suspicions
+            .iter()
+            .filter(|(_, &until)| until > now)
+            .map(|(&n, _)| n)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Total deadline misses attributed to `node` over the run (diagnostic).
+    pub fn miss_count(&self, node: NodeId) -> u64 {
+        self.miss_counts.get(&node).copied().unwrap_or(0)
+    }
+
+    /// The current (aged) miss counter for `node`.
+    pub fn counter(&self, node: NodeId) -> u32 {
+        self.counters.get(&node).copied().unwrap_or(0)
+    }
+
+    /// Number of live (unsatisfied, unexpired) expectations.
+    pub fn pending_expectations(&self) -> usize {
+        self.expectations.iter().filter(|e| !e.satisfied).count()
+    }
+
+    /// The earliest pending deadline, for arming a wake-up timer.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.expectations
+            .iter()
+            .filter(|e| !e.satisfied)
+            .map(|e| e.deadline)
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::header::MsgKind;
+
+    fn config() -> MuteConfig {
+        // Threshold 1 keeps most tests one-shot; threshold behaviour has
+        // dedicated tests below.
+        MuteConfig {
+            expect_timeout: SimDuration::from_millis(100),
+            threshold: 1,
+            decay_interval: SimDuration::from_secs(60),
+            suspicion_duration: SimDuration::from_secs(1),
+            max_expectations: 16,
+        }
+    }
+
+    fn hdr(origin: u32, seq: u64) -> MsgHeader {
+        MsgHeader::new(MsgKind::Data, NodeId(origin), seq)
+    }
+
+    #[test]
+    fn satisfied_one_expectation_never_suspects() {
+        let mut fd = MuteDetector::new(config());
+        let t0 = SimTime::from_secs(1);
+        fd.expect(
+            t0,
+            HeaderPattern::data_msg(NodeId(9), 1),
+            &[NodeId(1), NodeId(2)],
+            ExpectMode::One,
+        );
+        fd.observe(&hdr(9, 1), NodeId(2));
+        fd.tick(t0 + SimDuration::from_secs(10));
+        assert!(fd.suspects(t0 + SimDuration::from_secs(10)).is_empty());
+        assert_eq!(fd.miss_count(NodeId(1)), 0);
+    }
+
+    #[test]
+    fn missed_one_expectation_suspects_all_listed() {
+        let mut fd = MuteDetector::new(config());
+        let t0 = SimTime::from_secs(1);
+        fd.expect(
+            t0,
+            HeaderPattern::data_msg(NodeId(9), 1),
+            &[NodeId(1), NodeId(2)],
+            ExpectMode::One,
+        );
+        let late = t0 + SimDuration::from_millis(101);
+        fd.tick(late);
+        assert_eq!(fd.suspects(late), vec![NodeId(1), NodeId(2)]);
+        assert!(fd.is_suspected(NodeId(1), late));
+    }
+
+    #[test]
+    fn all_mode_suspects_only_the_silent() {
+        let mut fd = MuteDetector::new(config());
+        let t0 = SimTime::from_secs(1);
+        fd.expect(
+            t0,
+            HeaderPattern::data_msg(NodeId(9), 1),
+            &[NodeId(1), NodeId(2)],
+            ExpectMode::All,
+        );
+        fd.observe(&hdr(9, 1), NodeId(1));
+        let late = t0 + SimDuration::from_millis(101);
+        fd.tick(late);
+        assert_eq!(fd.suspects(late), vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn observation_from_unlisted_node_does_not_satisfy_one_mode() {
+        let mut fd = MuteDetector::new(config());
+        let t0 = SimTime::from_secs(1);
+        fd.expect(
+            t0,
+            HeaderPattern::data_msg(NodeId(9), 1),
+            &[NodeId(1)],
+            ExpectMode::One,
+        );
+        fd.observe(&hdr(9, 1), NodeId(7)); // not in the set
+        let late = t0 + SimDuration::from_millis(101);
+        fd.tick(late);
+        assert_eq!(fd.suspects(late), vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn suspicion_ages_out() {
+        let mut fd = MuteDetector::new(config());
+        let t0 = SimTime::from_secs(1);
+        fd.expect(
+            t0,
+            HeaderPattern::data_msg(NodeId(9), 1),
+            &[NodeId(1)],
+            ExpectMode::All,
+        );
+        let late = t0 + SimDuration::from_millis(101);
+        fd.tick(late);
+        assert!(fd.is_suspected(NodeId(1), late));
+        let healed = late + SimDuration::from_secs(2);
+        fd.tick(healed);
+        assert!(!fd.is_suspected(NodeId(1), healed));
+        // The miss count is permanent history, though.
+        assert_eq!(fd.miss_count(NodeId(1)), 1);
+    }
+
+    #[test]
+    fn duplicate_expectations_merge() {
+        let mut fd = MuteDetector::new(config());
+        let t0 = SimTime::from_secs(1);
+        let p = HeaderPattern::data_msg(NodeId(9), 1);
+        fd.expect(t0, p, &[NodeId(1)], ExpectMode::One);
+        fd.expect(t0, p, &[NodeId(2)], ExpectMode::One);
+        assert_eq!(fd.pending_expectations(), 1);
+        // Either node satisfies the merged expectation.
+        fd.observe(&hdr(9, 1), NodeId(2));
+        fd.tick(t0 + SimDuration::from_secs(1));
+        assert!(fd.suspects(t0 + SimDuration::from_secs(1)).is_empty());
+    }
+
+    #[test]
+    fn expectation_cap_drops_oldest() {
+        let mut fd = MuteDetector::new(MuteConfig {
+            max_expectations: 2,
+            ..config()
+        });
+        let t0 = SimTime::from_secs(1);
+        for seq in 0..3 {
+            fd.expect(
+                t0,
+                HeaderPattern::data_msg(NodeId(9), seq),
+                &[NodeId(1)],
+                ExpectMode::All,
+            );
+        }
+        assert_eq!(fd.pending_expectations(), 2);
+    }
+
+    #[test]
+    fn empty_node_set_is_ignored() {
+        let mut fd = MuteDetector::new(config());
+        fd.expect(SimTime::ZERO, HeaderPattern::any(), &[], ExpectMode::All);
+        assert_eq!(fd.pending_expectations(), 0);
+    }
+
+    #[test]
+    fn next_deadline_tracks_earliest() {
+        let mut fd = MuteDetector::new(config());
+        let t0 = SimTime::from_secs(1);
+        assert_eq!(fd.next_deadline(), None);
+        fd.expect(
+            t0,
+            HeaderPattern::data_msg(NodeId(9), 1),
+            &[NodeId(1)],
+            ExpectMode::All,
+        );
+        assert_eq!(fd.next_deadline(), Some(t0 + SimDuration::from_millis(100)));
+    }
+
+    #[test]
+    fn repeated_misses_extend_suspicion() {
+        let mut fd = MuteDetector::new(config());
+        let t0 = SimTime::from_secs(1);
+        fd.expect(
+            t0,
+            HeaderPattern::data_msg(NodeId(9), 1),
+            &[NodeId(1)],
+            ExpectMode::All,
+        );
+        let t1 = t0 + SimDuration::from_millis(101);
+        fd.tick(t1);
+        fd.expect(
+            t1,
+            HeaderPattern::data_msg(NodeId(9), 2),
+            &[NodeId(1)],
+            ExpectMode::All,
+        );
+        let t2 = t1 + SimDuration::from_millis(101);
+        fd.tick(t2);
+        assert_eq!(fd.miss_count(NodeId(1)), 2);
+        // Suspicion runs from the *second* miss.
+        let probe = t2 + SimDuration::from_millis(950);
+        assert!(fd.is_suspected(NodeId(1), probe));
+    }
+}
+
+#[cfg(test)]
+mod threshold_tests {
+    use super::*;
+    use crate::header::{HeaderPattern, MsgHeader, MsgKind};
+
+    fn config() -> MuteConfig {
+        MuteConfig {
+            expect_timeout: SimDuration::from_millis(100),
+            threshold: 3,
+            decay_interval: SimDuration::from_secs(10),
+            suspicion_duration: SimDuration::from_secs(5),
+            max_expectations: 16,
+        }
+    }
+
+    fn miss(fd: &mut MuteDetector, at: SimTime, seq: u64) -> SimTime {
+        fd.expect(
+            at,
+            HeaderPattern::data_msg(NodeId(9), seq),
+            &[NodeId(1)],
+            ExpectMode::All,
+        );
+        let deadline = at + SimDuration::from_millis(101);
+        fd.tick(deadline);
+        deadline
+    }
+
+    #[test]
+    fn below_threshold_misses_do_not_suspect() {
+        let mut fd = MuteDetector::new(config());
+        let mut t = SimTime::from_secs(1);
+        t = miss(&mut fd, t, 1);
+        t = miss(&mut fd, t, 2);
+        assert!(!fd.is_suspected(NodeId(1), t));
+        assert_eq!(fd.counter(NodeId(1)), 2);
+        assert_eq!(fd.miss_count(NodeId(1)), 2);
+    }
+
+    #[test]
+    fn threshold_crossing_suspects() {
+        let mut fd = MuteDetector::new(config());
+        let mut t = SimTime::from_secs(1);
+        t = miss(&mut fd, t, 1);
+        t = miss(&mut fd, t, 2);
+        t = miss(&mut fd, t, 3);
+        assert!(fd.is_suspected(NodeId(1), t));
+    }
+
+    #[test]
+    fn counters_decay_so_sporadic_losses_never_accumulate() {
+        let mut fd = MuteDetector::new(config());
+        // One miss every 20 s: decay (10 s) keeps the counter at <= 1.
+        let mut t = SimTime::from_secs(1);
+        for k in 0..6 {
+            t = miss(&mut fd, t, k);
+            t = t + SimDuration::from_secs(20);
+            fd.tick(t);
+        }
+        assert!(!fd.is_suspected(NodeId(1), t));
+        assert_eq!(fd.counter(NodeId(1)), 0);
+        assert_eq!(
+            fd.miss_count(NodeId(1)),
+            6,
+            "history still records all misses"
+        );
+    }
+
+    #[test]
+    fn satisfied_expectations_do_not_count() {
+        let mut fd = MuteDetector::new(config());
+        let t = SimTime::from_secs(1);
+        fd.expect(
+            t,
+            HeaderPattern::data_msg(NodeId(9), 1),
+            &[NodeId(1)],
+            ExpectMode::All,
+        );
+        fd.observe(&MsgHeader::new(MsgKind::Data, NodeId(9), 1), NodeId(1));
+        fd.tick(t + SimDuration::from_secs(1));
+        assert_eq!(fd.counter(NodeId(1)), 0);
+    }
+}

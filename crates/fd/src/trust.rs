@@ -1,0 +1,269 @@
+//! The TRUST failure detector.
+//!
+//! "The TRUST failure detector collects the reports of MUTE and VERBOSE, as
+//! well as detections of messages with bad signatures and other locally
+//! observable deviations from the protocol. In return, TRUST maintains a
+//! trust level for each neighboring node. This information is fed into the
+//! overlay."
+//!
+//! The overlay maintenance protocol (paper §3.3) distinguishes three levels
+//! per neighbour `q` of `p`:
+//!
+//! * **untrusted** — "the TRUST failure detector of p suspects q";
+//! * **unknown** — "the TRUST failure detector of p does not suspect q but
+//!   another neighbor of p that p trusts reported to p that it suspects q";
+//! * **trusted** — "p has no reason to suspect q".
+//!
+//! Second-hand reports are accepted "unless p already suspects either q or
+//! r"; a Byzantine node "can cause correct nodes to unnecessarily join the
+//! overlay, but it cannot destroy the connectivity of the overlay w.r.t.
+//! correct nodes".
+
+use std::collections::HashMap;
+
+use byzcast_sim::{NodeId, SimDuration, SimTime};
+
+/// Why a node was suspected (fed to `suspect`, kept for diagnostics).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SuspicionReason {
+    /// Reported by the MUTE failure detector.
+    Mute,
+    /// Reported by the VERBOSE failure detector.
+    Verbose,
+    /// A message carried a signature that did not verify.
+    BadSignature,
+    /// Any other locally observable protocol deviation.
+    ProtocolViolation,
+}
+
+impl std::fmt::Display for SuspicionReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SuspicionReason::Mute => "mute",
+            SuspicionReason::Verbose => "verbose",
+            SuspicionReason::BadSignature => "bad signature",
+            SuspicionReason::ProtocolViolation => "protocol violation",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The trust level `p` assigns a neighbour, as used by the overlay.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum TrustLevel {
+    /// No reason to suspect the node.
+    #[default]
+    Trusted,
+    /// Not suspected locally, but a trusted neighbour reported suspicion.
+    Unknown,
+    /// Suspected by this node's own TRUST detector.
+    Untrusted,
+}
+
+/// TRUST detector parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TrustConfig {
+    /// How long a direct suspicion lasts before aging out.
+    pub suspicion_duration: SimDuration,
+    /// How long a second-hand ("unknown") report lasts before aging out.
+    pub report_duration: SimDuration,
+}
+
+impl Default for TrustConfig {
+    fn default() -> Self {
+        TrustConfig {
+            suspicion_duration: SimDuration::from_secs(10),
+            report_duration: SimDuration::from_secs(10),
+        }
+    }
+}
+
+/// The TRUST failure detector of one node.
+#[derive(Debug)]
+pub struct TrustDetector {
+    config: TrustConfig,
+    /// Node → (instant until suspected, latest reason).
+    suspicions: HashMap<NodeId, (SimTime, SuspicionReason)>,
+    /// Suspected node → reporters and expiry of their second-hand report.
+    reports: HashMap<NodeId, HashMap<NodeId, SimTime>>,
+    /// Total suspicions raised per node, by reason (diagnostic).
+    history: HashMap<(NodeId, SuspicionReason), u64>,
+}
+
+impl TrustDetector {
+    /// Creates a detector.
+    pub fn new(config: TrustConfig) -> Self {
+        TrustDetector {
+            config,
+            suspicions: HashMap::new(),
+            reports: HashMap::new(),
+            history: HashMap::new(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &TrustConfig {
+        &self.config
+    }
+
+    /// Directly suspects `node` for `reason` (Figure 2's `suspect` method).
+    pub fn suspect(&mut self, now: SimTime, node: NodeId, reason: SuspicionReason) {
+        let until = now + self.config.suspicion_duration;
+        let entry = self.suspicions.entry(node).or_insert((until, reason));
+        entry.0 = entry.0.max(until);
+        entry.1 = reason;
+        *self.history.entry((node, reason)).or_insert(0) += 1;
+    }
+
+    /// Handles a second-hand report: `reporter` (a neighbour) says it
+    /// suspects `suspected`. Ignored if we suspect the reporter; a report
+    /// about an already-untrusted node changes nothing.
+    pub fn report_from_neighbor(&mut self, now: SimTime, reporter: NodeId, suspected: NodeId) {
+        if self.is_suspected(reporter, now) {
+            return; // untrusted reporters carry no weight
+        }
+        if self.is_suspected(suspected, now) {
+            return; // already untrusted; unknown would be a downgrade
+        }
+        self.reports
+            .entry(suspected)
+            .or_default()
+            .insert(reporter, now + self.config.report_duration);
+    }
+
+    /// Ages out stale suspicions and second-hand reports.
+    pub fn tick(&mut self, now: SimTime) {
+        self.suspicions.retain(|_, (until, _)| *until > now);
+        self.reports.retain(|_, reporters| {
+            reporters.retain(|_, until| *until > now);
+            !reporters.is_empty()
+        });
+    }
+
+    /// Whether `node` is directly suspected at `now`.
+    pub fn is_suspected(&self, node: NodeId, now: SimTime) -> bool {
+        self.suspicions
+            .get(&node)
+            .is_some_and(|&(until, _)| until > now)
+    }
+
+    /// The trust level of `node` at `now`.
+    ///
+    /// A second-hand report only yields `Unknown` while its reporter is
+    /// itself trusted (reports from since-suspected reporters are ignored).
+    pub fn level(&self, node: NodeId, now: SimTime) -> TrustLevel {
+        if self.is_suspected(node, now) {
+            return TrustLevel::Untrusted;
+        }
+        if let Some(reporters) = self.reports.get(&node) {
+            let live_trusted_reporter = reporters
+                .iter()
+                .any(|(&r, &until)| until > now && !self.is_suspected(r, now));
+            if live_trusted_reporter {
+                return TrustLevel::Unknown;
+            }
+        }
+        TrustLevel::Trusted
+    }
+
+    /// Nodes currently `Untrusted`, in id order.
+    pub fn untrusted(&self, now: SimTime) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self
+            .suspicions
+            .iter()
+            .filter(|(_, &(until, _))| until > now)
+            .map(|(&n, _)| n)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Total suspicions raised against `node` for `reason` (diagnostic).
+    pub fn history(&self, node: NodeId, reason: SuspicionReason) -> u64 {
+        self.history.get(&(node, reason)).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det() -> TrustDetector {
+        TrustDetector::new(TrustConfig {
+            suspicion_duration: SimDuration::from_secs(10),
+            report_duration: SimDuration::from_secs(10),
+        })
+    }
+
+    #[test]
+    fn default_is_trusted() {
+        let d = det();
+        assert_eq!(d.level(NodeId(1), SimTime::ZERO), TrustLevel::Trusted);
+    }
+
+    #[test]
+    fn direct_suspicion_is_untrusted_then_ages() {
+        let mut d = det();
+        let t = SimTime::from_secs(1);
+        d.suspect(t, NodeId(1), SuspicionReason::BadSignature);
+        assert_eq!(d.level(NodeId(1), t), TrustLevel::Untrusted);
+        assert_eq!(d.untrusted(t), vec![NodeId(1)]);
+        let later = t + SimDuration::from_secs(11);
+        d.tick(later);
+        assert_eq!(d.level(NodeId(1), later), TrustLevel::Trusted);
+        assert_eq!(d.history(NodeId(1), SuspicionReason::BadSignature), 1);
+    }
+
+    #[test]
+    fn second_hand_report_is_unknown() {
+        let mut d = det();
+        let t = SimTime::from_secs(1);
+        d.report_from_neighbor(t, NodeId(2), NodeId(3));
+        assert_eq!(d.level(NodeId(3), t), TrustLevel::Unknown);
+        assert_eq!(d.level(NodeId(2), t), TrustLevel::Trusted);
+    }
+
+    #[test]
+    fn report_from_suspected_reporter_is_ignored() {
+        let mut d = det();
+        let t = SimTime::from_secs(1);
+        d.suspect(t, NodeId(2), SuspicionReason::Verbose);
+        d.report_from_neighbor(t, NodeId(2), NodeId(3));
+        assert_eq!(d.level(NodeId(3), t), TrustLevel::Trusted);
+    }
+
+    #[test]
+    fn reporter_suspected_after_reporting_voids_the_report() {
+        let mut d = det();
+        let t = SimTime::from_secs(1);
+        d.report_from_neighbor(t, NodeId(2), NodeId(3));
+        assert_eq!(d.level(NodeId(3), t), TrustLevel::Unknown);
+        d.suspect(t, NodeId(2), SuspicionReason::Mute);
+        assert_eq!(d.level(NodeId(3), t), TrustLevel::Trusted);
+    }
+
+    #[test]
+    fn direct_suspicion_dominates_unknown() {
+        let mut d = det();
+        let t = SimTime::from_secs(1);
+        d.report_from_neighbor(t, NodeId(2), NodeId(3));
+        d.suspect(t, NodeId(3), SuspicionReason::Mute);
+        assert_eq!(d.level(NodeId(3), t), TrustLevel::Untrusted);
+    }
+
+    #[test]
+    fn reports_age_out() {
+        let mut d = det();
+        let t = SimTime::from_secs(1);
+        d.report_from_neighbor(t, NodeId(2), NodeId(3));
+        let later = t + SimDuration::from_secs(11);
+        d.tick(later);
+        assert_eq!(d.level(NodeId(3), later), TrustLevel::Trusted);
+    }
+
+    #[test]
+    fn reasons_display() {
+        assert_eq!(SuspicionReason::Mute.to_string(), "mute");
+        assert_eq!(SuspicionReason::BadSignature.to_string(), "bad signature");
+    }
+}

@@ -1,0 +1,252 @@
+//! The VERBOSE failure detector (classes ◇P_verbose and I_verbose).
+//!
+//! "The goal of the VERBOSE failure detector is to detect verbose nodes.
+//! Such nodes try to overload the system by sending too many messages…
+//! Detecting such nodes is therefore useful in order to allow nodes to stop
+//! reacting to messages from these nodes." Its interface method is
+//! `indict(node id)`: "VERBOSE maintains a counter for each node that was
+//! listed in any invocation of its method. The counter is incremented on each
+//! such event, and after a given threshold, the node is considered to be a
+//! suspect." The paper also mentions "a method that allows to specify general
+//! requirements about the minimal spacing between consecutive arrivals of
+//! messages of the same type", invoked at initialization time — implemented
+//! here as [`VerboseDetector::set_min_spacing`] plus
+//! [`VerboseDetector::observe_arrival`]. Counters age down periodically.
+
+use std::collections::HashMap;
+
+use byzcast_sim::{NodeId, SimDuration, SimTime};
+
+use crate::header::MsgKind;
+
+/// VERBOSE detector parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VerboseConfig {
+    /// Indictments at which a node becomes suspected.
+    pub threshold: u32,
+    /// How often counters are decremented by one (the aging mechanism).
+    pub decay_interval: SimDuration,
+    /// How long a node stays suspected after crossing the threshold.
+    pub suspicion_duration: SimDuration,
+}
+
+impl Default for VerboseConfig {
+    fn default() -> Self {
+        VerboseConfig {
+            threshold: 10,
+            decay_interval: SimDuration::from_secs(5),
+            suspicion_duration: SimDuration::from_secs(10),
+        }
+    }
+}
+
+/// The VERBOSE failure detector of one node.
+#[derive(Debug)]
+pub struct VerboseDetector {
+    config: VerboseConfig,
+    counters: HashMap<NodeId, u32>,
+    suspicions: HashMap<NodeId, SimTime>,
+    min_spacing: HashMap<MsgKind, SimDuration>,
+    last_arrival: HashMap<(NodeId, MsgKind), SimTime>,
+    last_decay: SimTime,
+    /// Total indictments per node over the whole run (diagnostic; not aged).
+    indict_counts: HashMap<NodeId, u64>,
+}
+
+impl VerboseDetector {
+    /// Creates a detector.
+    pub fn new(config: VerboseConfig) -> Self {
+        VerboseDetector {
+            config,
+            counters: HashMap::new(),
+            suspicions: HashMap::new(),
+            min_spacing: HashMap::new(),
+            last_arrival: HashMap::new(),
+            last_decay: SimTime::ZERO,
+            indict_counts: HashMap::new(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &VerboseConfig {
+        &self.config
+    }
+
+    /// Declares that consecutive messages of `kind` from the same node closer
+    /// together than `spacing` constitute a verbose fault. Typically invoked
+    /// at initialization time.
+    pub fn set_min_spacing(&mut self, kind: MsgKind, spacing: SimDuration) {
+        self.min_spacing.insert(kind, spacing);
+    }
+
+    /// Indicts `node` for sending too many messages of some type.
+    pub fn indict(&mut self, now: SimTime, node: NodeId) {
+        let c = self.counters.entry(node).or_insert(0);
+        *c += 1;
+        *self.indict_counts.entry(node).or_insert(0) += 1;
+        if *c >= self.config.threshold {
+            let until = now + self.config.suspicion_duration;
+            let entry = self.suspicions.entry(node).or_insert(until);
+            *entry = (*entry).max(until);
+        }
+    }
+
+    /// Feeds a message arrival; auto-indicts if it violates the minimum
+    /// spacing registered for its kind.
+    pub fn observe_arrival(&mut self, now: SimTime, node: NodeId, kind: MsgKind) {
+        if let Some(&spacing) = self.min_spacing.get(&kind) {
+            if let Some(&prev) = self.last_arrival.get(&(node, kind)) {
+                if now.saturating_since(prev) < spacing {
+                    self.indict(now, node);
+                }
+            }
+        }
+        self.last_arrival.insert((node, kind), now);
+    }
+
+    /// Ages counters down and expires old suspicions.
+    pub fn tick(&mut self, now: SimTime) {
+        while now.saturating_since(self.last_decay) >= self.config.decay_interval {
+            self.last_decay = self.last_decay + self.config.decay_interval;
+            self.counters.retain(|_, c| {
+                *c = c.saturating_sub(1);
+                *c > 0
+            });
+        }
+        self.suspicions.retain(|_, until| *until > now);
+    }
+
+    /// Whether `node` is currently suspected.
+    pub fn is_suspected(&self, node: NodeId, now: SimTime) -> bool {
+        self.suspicions.get(&node).is_some_and(|&until| until > now)
+    }
+
+    /// The nodes currently suspected, in id order.
+    pub fn suspects(&self, now: SimTime) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self
+            .suspicions
+            .iter()
+            .filter(|(_, &until)| until > now)
+            .map(|(&n, _)| n)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// The current (aged) counter for `node`.
+    pub fn counter(&self, node: NodeId) -> u32 {
+        self.counters.get(&node).copied().unwrap_or(0)
+    }
+
+    /// Total indictments of `node` over the run (diagnostic).
+    pub fn indict_count(&self, node: NodeId) -> u64 {
+        self.indict_counts.get(&node).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> VerboseConfig {
+        VerboseConfig {
+            threshold: 3,
+            decay_interval: SimDuration::from_secs(1),
+            suspicion_duration: SimDuration::from_secs(5),
+        }
+    }
+
+    #[test]
+    fn below_threshold_is_not_suspected() {
+        let mut fd = VerboseDetector::new(config());
+        let t = SimTime::from_secs(1);
+        fd.indict(t, NodeId(1));
+        fd.indict(t, NodeId(1));
+        assert!(!fd.is_suspected(NodeId(1), t));
+        assert_eq!(fd.counter(NodeId(1)), 2);
+    }
+
+    #[test]
+    fn threshold_crossing_suspects() {
+        let mut fd = VerboseDetector::new(config());
+        let t = SimTime::from_secs(1);
+        for _ in 0..3 {
+            fd.indict(t, NodeId(1));
+        }
+        assert!(fd.is_suspected(NodeId(1), t));
+        assert_eq!(fd.suspects(t), vec![NodeId(1)]);
+        assert_eq!(fd.indict_count(NodeId(1)), 3);
+    }
+
+    #[test]
+    fn counters_decay_over_time() {
+        let mut fd = VerboseDetector::new(config());
+        let t = SimTime::from_secs(1);
+        fd.indict(t, NodeId(1));
+        fd.indict(t, NodeId(1));
+        // Two decay intervals pass: counter 2 -> 0.
+        fd.tick(t + SimDuration::from_secs(2));
+        assert_eq!(fd.counter(NodeId(1)), 0);
+        // Slow indictments never accumulate to the threshold.
+        let mut now = t;
+        for _ in 0..10 {
+            now = now + SimDuration::from_secs(2);
+            fd.indict(now, NodeId(2));
+            fd.tick(now);
+        }
+        assert!(!fd.is_suspected(NodeId(2), now));
+    }
+
+    #[test]
+    fn suspicion_expires() {
+        let mut fd = VerboseDetector::new(config());
+        let t = SimTime::from_secs(1);
+        for _ in 0..3 {
+            fd.indict(t, NodeId(1));
+        }
+        let later = t + SimDuration::from_secs(6);
+        fd.tick(later);
+        assert!(!fd.is_suspected(NodeId(1), later));
+    }
+
+    #[test]
+    fn min_spacing_violations_auto_indict() {
+        let mut fd = VerboseDetector::new(config());
+        fd.set_min_spacing(MsgKind::RequestMsg, SimDuration::from_millis(500));
+        let t = SimTime::from_secs(1);
+        // Four rapid-fire requests: three spacing violations ≥ threshold.
+        for i in 0..4u64 {
+            fd.observe_arrival(
+                t + SimDuration::from_millis(i * 10),
+                NodeId(3),
+                MsgKind::RequestMsg,
+            );
+        }
+        assert!(fd.is_suspected(NodeId(3), t + SimDuration::from_millis(40)));
+    }
+
+    #[test]
+    fn spaced_arrivals_do_not_indict() {
+        let mut fd = VerboseDetector::new(config());
+        fd.set_min_spacing(MsgKind::RequestMsg, SimDuration::from_millis(500));
+        let t = SimTime::from_secs(1);
+        for i in 0..10u64 {
+            fd.observe_arrival(
+                t + SimDuration::from_secs(i),
+                NodeId(3),
+                MsgKind::RequestMsg,
+            );
+        }
+        assert_eq!(fd.counter(NodeId(3)), 0);
+    }
+
+    #[test]
+    fn kinds_without_spacing_rule_are_ignored() {
+        let mut fd = VerboseDetector::new(config());
+        let t = SimTime::from_secs(1);
+        for i in 0..10u64 {
+            fd.observe_arrival(t + SimDuration::from_micros(i), NodeId(3), MsgKind::Gossip);
+        }
+        assert_eq!(fd.counter(NodeId(3)), 0);
+    }
+}

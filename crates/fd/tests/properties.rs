@@ -1,0 +1,125 @@
+//! Property-based tests for header-pattern matching and detector invariants.
+
+use proptest::prelude::*;
+
+use byzcast_fd::{
+    ExpectMode, HeaderPattern, MsgHeader, MsgKind, MuteConfig, MuteDetector, SuspicionReason,
+    TrustConfig, TrustDetector, VerboseConfig, VerboseDetector,
+};
+use byzcast_sim::{NodeId, SimDuration, SimTime};
+
+fn kind_of(k: u8) -> MsgKind {
+    match k % 5 {
+        0 => MsgKind::Data,
+        1 => MsgKind::Gossip,
+        2 => MsgKind::RequestMsg,
+        3 => MsgKind::FindMissingMsg,
+        _ => MsgKind::Beacon,
+    }
+}
+
+proptest! {
+    /// The exact pattern of a header matches it; changing any field breaks
+    /// the match; the full wildcard matches everything.
+    #[test]
+    fn exact_patterns_bind_all_fields(k in any::<u8>(), origin in any::<u32>(), seq in any::<u64>()) {
+        let h = MsgHeader::new(kind_of(k), NodeId(origin), seq);
+        let p = HeaderPattern::exact(h);
+        prop_assert!(p.matches(&h));
+        prop_assert!(HeaderPattern::any().matches(&h));
+        // `k % 5 + 1` is always a *different* kind (no mod-wrap collision).
+        let other_kind = MsgHeader::new(kind_of(k % 5 + 1), NodeId(origin), seq);
+        prop_assert!(!p.matches(&other_kind));
+        let other_origin = MsgHeader::new(kind_of(k), NodeId(origin.wrapping_add(1)), seq);
+        prop_assert!(!p.matches(&other_origin));
+        let other_seq = MsgHeader::new(kind_of(k), NodeId(origin), seq.wrapping_add(1));
+        prop_assert!(!p.matches(&other_seq));
+    }
+
+    /// Widening a pattern (dropping a field) can only grow its match set.
+    #[test]
+    fn wildcarding_is_monotone(k in any::<u8>(), origin in any::<u32>(), seq in any::<u64>(),
+                               hk in any::<u8>(), ho in any::<u32>(), hs in any::<u64>()) {
+        let narrow = HeaderPattern {
+            kind: Some(kind_of(k)),
+            origin: Some(NodeId(origin)),
+            seq: Some(seq),
+        };
+        let wide = HeaderPattern { seq: None, ..narrow };
+        let wider = HeaderPattern { origin: None, seq: None, ..narrow };
+        let h = MsgHeader::new(kind_of(hk), NodeId(ho), hs);
+        if narrow.matches(&h) {
+            prop_assert!(wide.matches(&h));
+        }
+        if wide.matches(&h) {
+            prop_assert!(wider.matches(&h));
+        }
+    }
+
+    /// MUTE: observations before the deadline prevent misses; the counter
+    /// never exceeds the total expectations registered.
+    #[test]
+    fn mute_counters_bounded_by_expectations(
+        misses in 0u32..12,
+        satisfied in 0u32..12,
+    ) {
+        let mut fd = MuteDetector::new(MuteConfig {
+            expect_timeout: SimDuration::from_millis(100),
+            threshold: 1000, // never actually suspect; we check counters
+            decay_interval: SimDuration::from_secs(3600),
+            suspicion_duration: SimDuration::from_secs(1),
+            max_expectations: 1024,
+        });
+        let mut t = SimTime::from_secs(1);
+        let mut seq = 0u64;
+        for _ in 0..misses {
+            seq += 1;
+            fd.expect(t, HeaderPattern::data_msg(NodeId(9), seq), &[NodeId(1)], ExpectMode::All);
+            t = t + SimDuration::from_millis(150);
+            fd.tick(t);
+        }
+        for _ in 0..satisfied {
+            seq += 1;
+            fd.expect(t, HeaderPattern::data_msg(NodeId(9), seq), &[NodeId(1)], ExpectMode::All);
+            fd.observe(&MsgHeader::new(MsgKind::Data, NodeId(9), seq), NodeId(1));
+            t = t + SimDuration::from_millis(150);
+            fd.tick(t);
+        }
+        prop_assert_eq!(fd.miss_count(NodeId(1)), u64::from(misses));
+        prop_assert_eq!(fd.counter(NodeId(1)), misses);
+    }
+
+    /// VERBOSE: suspicion iff the aged counter reached the threshold.
+    #[test]
+    fn verbose_threshold_is_exact(threshold in 1u32..20, indictments in 0u32..40) {
+        let mut fd = VerboseDetector::new(VerboseConfig {
+            threshold,
+            decay_interval: SimDuration::from_secs(3600),
+            suspicion_duration: SimDuration::from_secs(60),
+        });
+        let t = SimTime::from_secs(1);
+        for _ in 0..indictments {
+            fd.indict(t, NodeId(2));
+        }
+        prop_assert_eq!(fd.is_suspected(NodeId(2), t), indictments >= threshold);
+    }
+
+    /// TRUST: second-hand reports never upgrade a direct suspicion, and a
+    /// suspicion always outranks reports.
+    #[test]
+    fn trust_levels_are_ordered(reporters in proptest::collection::vec(1u32..50, 0..8)) {
+        let mut d = TrustDetector::new(TrustConfig::default());
+        let t = SimTime::from_secs(1);
+        for &r in &reporters {
+            d.report_from_neighbor(t, NodeId(r), NodeId(0));
+        }
+        d.suspect(t, NodeId(0), SuspicionReason::Mute);
+        prop_assert_eq!(d.level(NodeId(0), t), byzcast_fd::TrustLevel::Untrusted);
+        // After the suspicion ages out, reports (if any remain) demote to
+        // Unknown at most.
+        let later = t + d.config().suspicion_duration + SimDuration::from_secs(1);
+        d.tick(later);
+        let level = d.level(NodeId(0), later);
+        prop_assert!(level != byzcast_fd::TrustLevel::Untrusted);
+    }
+}

@@ -1,0 +1,26 @@
+//! # byzcast-harness — scenarios, workloads and reporting for experiments
+//!
+//! The experiment layer that regenerates the paper's evaluation: it builds a
+//! full simulation from a declarative [`ScenarioConfig`] (topology, radio,
+//! protocol choice, adversary mix), injects a [`Workload`], runs it, and
+//! distils the simulator's metrics into a [`RunSummary`] — delivery ratio,
+//! frames/bytes by kind, latency distribution, overlay quality, recovery and
+//! suspicion statistics. [`report`] renders aligned text tables for the
+//! `exp_*` binaries; [`sweep`] replicates runs over seeds and aggregates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod scenario;
+pub mod summary;
+pub mod sweep;
+pub mod workload;
+
+pub use report::Table;
+pub use scenario::{
+    byz_view, figure5_worst_case, AdversaryKind, MobilityChoice, ProtocolChoice, ScenarioConfig,
+};
+pub use summary::RunSummary;
+pub use sweep::{aggregate, replicate};
+pub use workload::Workload;

@@ -1,0 +1,134 @@
+//! Plain-text tables for experiment output.
+
+use std::fmt;
+
+/// A fixed-width text table: headers plus rows of cells.
+///
+/// ```
+/// use byzcast_harness::Table;
+/// let mut t = Table::new(["protocol", "delivery"]);
+/// t.add_row(["byzcast", "0.998"]);
+/// t.add_row(["flooding", "1.000"]);
+/// let rendered = t.to_string();
+/// assert!(rendered.starts_with("protocol"));
+/// assert_eq!(rendered.lines().count(), 4); // header + rule + 2 rows
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; short rows are padded with empty cells.
+    pub fn add_row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                w[i] = w[i].max(cell.chars().count());
+            }
+        }
+        w
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.widths();
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let pad = widths[i] - cell.chars().count();
+                line.push_str(cell);
+                line.extend(std::iter::repeat_n(' ', pad));
+            }
+            writeln!(f, "{}", line.trim_end())
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with sensible precision for tables.
+pub fn fnum(x: f64) -> String {
+    if !x.is_finite() {
+        "inf".to_owned()
+    } else if x == 0.0 {
+        "0".to_owned()
+    } else if x.abs() >= 1000.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 10.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(["name", "value"]);
+        t.add_row(["alpha", "1"]);
+        t.add_row(["b", "22222"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "name   value");
+        assert!(lines[1].starts_with("---"));
+        assert_eq!(lines[2], "alpha  1");
+        assert_eq!(lines[3], "b      22222");
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new(["a", "b", "c"]);
+        t.add_row(["x"]);
+        assert!(t.to_string().contains('x'));
+    }
+
+    #[test]
+    fn fnum_scales_precision() {
+        assert_eq!(fnum(0.0), "0");
+        assert_eq!(fnum(0.123456), "0.123");
+        assert_eq!(fnum(12.34), "12.3");
+        assert_eq!(fnum(1234.6), "1235");
+        assert_eq!(fnum(f64::INFINITY), "inf");
+    }
+}

@@ -1,0 +1,669 @@
+//! Scenario construction: from a declarative config to a running simulation.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use byzcast_adversary::{
+    ForgerNode, GossipLiarNode, ImpersonatorNode, MuteNode, MutePolicy, SelectiveForwarder,
+    SilentNode, VerboseNode,
+};
+use byzcast_baselines::{plan_overlays, FloodingNode, MoMsg, MultiOverlayNode};
+use byzcast_core::message::WireMsg;
+use byzcast_core::{ByzcastConfig, ByzcastNode};
+use byzcast_crypto::{KeyRegistry, SignerId, SimScheme, Verifier};
+use byzcast_overlay::analysis::connected_correct_cover;
+use byzcast_sim::{
+    BoxedProtocol, MobilityModel, NodeId, Position, RandomWalk, RandomWaypoint, SimBuilder,
+    SimConfig, SimDuration, SimRng, Simulator, StaticPlacement,
+};
+
+use crate::summary::RunSummary;
+use crate::workload::Workload;
+
+/// How nodes are placed and move.
+#[derive(Clone, Debug, Default)]
+pub enum MobilityChoice {
+    /// Uniform-random static placement.
+    #[default]
+    Static,
+    /// Static grid filling the field.
+    Grid,
+    /// Static horizontal line with the given spacing in metres.
+    Line {
+        /// Distance between consecutive nodes.
+        spacing: f64,
+    },
+    /// Exactly these static positions.
+    Explicit(Vec<Position>),
+    /// Random waypoint with speeds in `[min, max]` m/s and a pause.
+    Waypoint {
+        /// Minimum speed (must be positive).
+        min_mps: f64,
+        /// Maximum speed.
+        max_mps: f64,
+        /// Pause at each waypoint.
+        pause: SimDuration,
+    },
+    /// Random walk at constant speed with exponential leg times.
+    Walk {
+        /// Walking speed.
+        speed_mps: f64,
+        /// Mean leg duration.
+        mean_leg: SimDuration,
+    },
+}
+
+impl MobilityChoice {
+    /// Instantiates the mobility model.
+    pub fn build(&self) -> Box<dyn MobilityModel> {
+        match self {
+            MobilityChoice::Static => Box::new(StaticPlacement::UniformRandom),
+            MobilityChoice::Grid => Box::new(StaticPlacement::Grid),
+            MobilityChoice::Line { spacing } => {
+                Box::new(StaticPlacement::Line { spacing: *spacing })
+            }
+            MobilityChoice::Explicit(ps) => Box::new(StaticPlacement::Explicit(ps.clone())),
+            MobilityChoice::Waypoint {
+                min_mps,
+                max_mps,
+                pause,
+            } => Box::new(RandomWaypoint::new(*min_mps, *max_mps, *pause)),
+            MobilityChoice::Walk {
+                speed_mps,
+                mean_leg,
+            } => Box::new(RandomWalk::new(*speed_mps, *mean_leg)),
+        }
+    }
+}
+
+/// Which broadcast protocol the run uses.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum ProtocolChoice {
+    /// The paper's protocol (configured by [`ScenarioConfig::byzcast`]).
+    #[default]
+    Byzcast,
+    /// The flooding baseline.
+    Flooding,
+    /// The f+1-overlays baseline with `f` tolerated Byzantine nodes.
+    MultiOverlay {
+        /// Number of tolerated Byzantine nodes (f+1 overlays are built).
+        f: u8,
+    },
+}
+
+/// The Byzantine behaviour assigned to adversarial nodes.
+#[derive(Clone, Debug)]
+pub enum AdversaryKind {
+    /// Mute byzcast node claiming overlay membership.
+    Mute(MutePolicy),
+    /// Crash-like silence (works for every protocol).
+    Silent,
+    /// Tamper with forwarded payloads.
+    Forger,
+    /// Spam pointless requests.
+    Verbose {
+        /// Spam period.
+        period: SimDuration,
+        /// Requests per spam tick.
+        per_tick: usize,
+    },
+    /// Gossip about messages it will not supply.
+    GossipLiar,
+    /// Censor the given originators, forward everything else.
+    SelectiveForwarder(Vec<NodeId>),
+    /// Inject forged frames naming `victim`.
+    Impersonator {
+        /// The framed node.
+        victim: NodeId,
+    },
+}
+
+/// A full experiment scenario.
+#[derive(Clone, Debug)]
+pub struct ScenarioConfig {
+    /// Master seed (also used for key generation and placement).
+    pub seed: u64,
+    /// Node count.
+    pub n: usize,
+    /// Simulator configuration (field, radio, MAC). Its `seed` field is
+    /// overwritten by `self.seed`.
+    pub sim: SimConfig,
+    /// Placement and mobility.
+    pub mobility: MobilityChoice,
+    /// Protocol under test.
+    pub protocol: ProtocolChoice,
+    /// Byzcast configuration (used when `protocol` is `Byzcast`).
+    pub byzcast: ByzcastConfig,
+    /// Behaviour of the adversarial nodes (none if `None`).
+    pub adversary: Option<AdversaryKind>,
+    /// How many adversaries (ignored when `adversary_ids` is set).
+    pub adversary_count: usize,
+    /// Explicit adversary ids (overrides `adversary_count` selection).
+    pub adversary_ids: Option<Vec<NodeId>>,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            seed: 0,
+            n: 50,
+            sim: SimConfig::default(),
+            mobility: MobilityChoice::Static,
+            protocol: ProtocolChoice::Byzcast,
+            byzcast: ByzcastConfig::default(),
+            adversary: None,
+            adversary_count: 0,
+            adversary_ids: None,
+        }
+    }
+}
+
+impl ScenarioConfig {
+    /// The adversarial node ids for this scenario. When not given
+    /// explicitly, the *highest* ids are chosen — these win the id-based
+    /// overlay election, which is the worst case for the protocol.
+    pub fn adversary_set(&self) -> BTreeSet<NodeId> {
+        if self.adversary.is_none() {
+            return BTreeSet::new();
+        }
+        match &self.adversary_ids {
+            Some(ids) => ids.iter().copied().collect(),
+            None => (0..self.n as u32)
+                .rev()
+                .take(self.adversary_count)
+                .map(NodeId)
+                .collect(),
+        }
+    }
+
+    /// The correctness mask: `mask[i]` iff node `i` is correct.
+    pub fn correct_mask(&self) -> Vec<bool> {
+        let adv = self.adversary_set();
+        (0..self.n as u32)
+            .map(|i| !adv.contains(&NodeId(i)))
+            .collect()
+    }
+
+    /// Ground-truth initial positions (deterministic from the seed).
+    pub fn initial_positions(&self) -> Vec<Position> {
+        let mut rng = SimRng::new(self.seed ^ 0x706f_7300);
+        self.mobility
+            .build()
+            .initial_positions(self.n, &self.sim.field, &mut rng)
+    }
+
+    /// Nominal-range adjacency for the given positions.
+    pub fn adjacency(&self, positions: &[Position]) -> Vec<Vec<NodeId>> {
+        let r = self.sim.radio.range_m;
+        (0..positions.len())
+            .map(|i| {
+                (0..positions.len())
+                    .filter(|&j| j != i && positions[i].distance(&positions[j]) <= r)
+                    .map(|j| NodeId(j as u32))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// A short protocol label for reports.
+    pub fn protocol_label(&self) -> String {
+        match &self.protocol {
+            ProtocolChoice::Byzcast => format!("byzcast/{}", self.byzcast.overlay.name()),
+            ProtocolChoice::Flooding => "flooding".to_owned(),
+            ProtocolChoice::MultiOverlay { f } => format!("{}-overlays", *f as u32 + 1),
+        }
+    }
+
+    /// Builds the simulation, injects the workload, runs to the workload
+    /// horizon, and summarizes.
+    pub fn run(&self, workload: &Workload) -> RunSummary {
+        match self.protocol {
+            ProtocolChoice::MultiOverlay { f } => self.run_multi_overlay(workload, f),
+            _ => self.run_wire(workload),
+        }
+    }
+
+    fn sim_config(&self) -> SimConfig {
+        SimConfig {
+            seed: self.seed,
+            ..self.sim.clone()
+        }
+    }
+
+    /// Byzcast and flooding (both speak `WireMsg`).
+    fn run_wire(&self, workload: &Workload) -> RunSummary {
+        let mut sim = self.build_wire_sim();
+        self.drive(&mut sim, workload);
+        self.summarize_wire(&sim)
+    }
+
+    /// Builds (without running) the simulator for a `WireMsg` protocol —
+    /// exposed so experiments can inspect per-node state mid-run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario selects the multi-overlay baseline, whose
+    /// message type differs.
+    pub fn build_wire_sim(&self) -> Simulator<WireMsg> {
+        assert!(
+            !matches!(self.protocol, ProtocolChoice::MultiOverlay { .. }),
+            "multi-overlay runs use MoMsg; use run() instead"
+        );
+        let positions = self.initial_positions();
+        let adv = self.adversary_set();
+        let keys: KeyRegistry<SimScheme> = KeyRegistry::generate(self.seed, self.n as u32);
+        let verifier: Arc<dyn Verifier + Send + Sync> = Arc::new(keys.verifier());
+        let flooding = self.protocol == ProtocolChoice::Flooding;
+
+        let make_correct = |id: NodeId| -> BoxedProtocol<WireMsg> {
+            if flooding {
+                Box::new(FloodingNode::new(
+                    id,
+                    Box::new(keys.signer(SignerId(id.0))),
+                    Arc::clone(&verifier),
+                ))
+            } else {
+                Box::new(ByzcastNode::new(
+                    id,
+                    self.byzcast.clone(),
+                    Box::new(keys.signer(SignerId(id.0))),
+                    Arc::clone(&verifier),
+                ))
+            }
+        };
+        let make_byz_inner = |id: NodeId| -> ByzcastNode {
+            ByzcastNode::new(
+                id,
+                self.byzcast.clone(),
+                Box::new(keys.signer(SignerId(id.0))),
+                Arc::clone(&verifier),
+            )
+        };
+
+        let sim = SimBuilder::new(self.sim_config())
+            .with_mobility(self.mobility.build())
+            .with_positions(positions.clone())
+            .with_nodes(self.n, |id| {
+                if !adv.contains(&id) {
+                    return make_correct(id);
+                }
+                match self.adversary.as_ref().expect("adversary set non-empty") {
+                    AdversaryKind::Silent => {
+                        if flooding {
+                            Box::new(SilentNode::new(FloodingNode::new(
+                                id,
+                                Box::new(keys.signer(SignerId(id.0))),
+                                Arc::clone(&verifier),
+                            )))
+                        } else {
+                            Box::new(SilentNode::new(make_byz_inner(id)))
+                        }
+                    }
+                    // The remaining adversaries are byzcast-protocol-aware;
+                    // against flooding they degrade to silence.
+                    _ if flooding => Box::new(SilentNode::new(FloodingNode::new(
+                        id,
+                        Box::new(keys.signer(SignerId(id.0))),
+                        Arc::clone(&verifier),
+                    ))),
+                    AdversaryKind::Mute(policy) => {
+                        Box::new(MuteNode::new(make_byz_inner(id), *policy))
+                    }
+                    AdversaryKind::Forger => Box::new(ForgerNode::new(make_byz_inner(id))),
+                    AdversaryKind::Verbose { period, per_tick } => {
+                        Box::new(VerboseNode::new(make_byz_inner(id), *period, *per_tick))
+                    }
+                    AdversaryKind::GossipLiar => Box::new(GossipLiarNode::new(
+                        Box::new(keys.signer(SignerId(id.0))),
+                        SimDuration::from_millis(500),
+                    )),
+                    AdversaryKind::SelectiveForwarder(victims) => {
+                        Box::new(SelectiveForwarder::new(make_byz_inner(id), victims.clone()))
+                    }
+                    AdversaryKind::Impersonator { victim } => Box::new(ImpersonatorNode::new(
+                        id,
+                        *victim,
+                        SimDuration::from_secs(1),
+                    )),
+                }
+            })
+            .build();
+        sim
+    }
+
+    /// Summarizes a finished `WireMsg` run (byzcast extras included when the
+    /// protocol is byzcast).
+    pub fn summarize_wire(&self, sim: &Simulator<WireMsg>) -> RunSummary {
+        let correct = self.correct_mask();
+        let mut summary = RunSummary::from_metrics(self.protocol_label(), sim.metrics(), &correct);
+        if self.protocol != ProtocolChoice::Flooding {
+            self.fill_byzcast_stats(sim, &correct, &mut summary);
+        }
+        summary
+    }
+
+    fn run_multi_overlay(&self, workload: &Workload, f: u8) -> RunSummary {
+        let positions = self.initial_positions();
+        let adj = self.adjacency(&positions);
+        let memberships = plan_overlays(&adj, f + 1, self.seed);
+        let adv = self.adversary_set();
+        let keys: KeyRegistry<SimScheme> = KeyRegistry::generate(self.seed, self.n as u32);
+        let verifier: Arc<dyn Verifier + Send + Sync> = Arc::new(keys.verifier());
+
+        let mut sim = SimBuilder::new(self.sim_config())
+            .with_mobility(self.mobility.build())
+            .with_positions(positions)
+            .with_nodes(self.n, |id| -> BoxedProtocol<MoMsg> {
+                let node = MultiOverlayNode::new(
+                    id,
+                    memberships[id.index()].clone(),
+                    Box::new(keys.signer(SignerId(id.0))),
+                    Arc::clone(&verifier),
+                );
+                if adv.contains(&id) {
+                    // Against the baseline, every adversary model reduces to
+                    // refusing to relay (the baseline has no gossip to lie
+                    // about and forged frames are dropped on signature).
+                    Box::new(SilentNode::new(node))
+                } else {
+                    Box::new(node)
+                }
+            })
+            .build();
+
+        self.drive(&mut sim, workload);
+        let correct = self.correct_mask();
+        RunSummary::from_metrics(self.protocol_label(), sim.metrics(), &correct)
+    }
+
+    /// Schedules the workload and runs the simulation to its horizon.
+    pub fn drive<M: byzcast_sim::Message + 'static>(
+        &self,
+        sim: &mut Simulator<M>,
+        workload: &Workload,
+    ) {
+        for (at, sender, payload_id, size) in workload.schedule() {
+            sim.schedule_app_broadcast(at, sender, payload_id, size);
+        }
+        sim.run_until(byzcast_sim::SimTime::ZERO + workload.horizon());
+    }
+
+    fn fill_byzcast_stats(
+        &self,
+        sim: &Simulator<WireMsg>,
+        correct: &[bool],
+        summary: &mut RunSummary,
+    ) {
+        let adv = self.adversary_set();
+        let mut overlay_mask = vec![false; self.n];
+        let mut requests = 0u64;
+        let mut finds = 0u64;
+        let mut served = 0u64;
+        let mut recovered = 0u64;
+        let mut high_water = 0usize;
+        let mut true_sus = 0u64;
+        let mut false_sus = 0u64;
+        for i in 0..self.n as u32 {
+            let id = NodeId(i);
+            let Some(node) = byz_view(sim, id) else {
+                // Standalone adversaries still claim overlay membership.
+                overlay_mask[id.index()] = adv.contains(&id);
+                continue;
+            };
+            overlay_mask[id.index()] = node.is_overlay();
+            if correct[id.index()] {
+                let c = node.counters();
+                requests += c.requests_sent;
+                finds += c.finds_sent;
+                served += c.recoveries_served;
+                recovered += c.recovered_via_request;
+                high_water = high_water.max(node.store().high_water());
+                for ep in node.suspicion_log().episodes() {
+                    if adv.contains(&ep.suspect) {
+                        true_sus += 1;
+                    } else {
+                        false_sus += 1;
+                    }
+                }
+            }
+        }
+        // Overlay quality on the *final* positions.
+        let adj = self.adjacency(sim.positions());
+        summary.overlay_size = Some(overlay_mask.iter().filter(|&&b| b).count());
+        summary.overlay_ok = Some(connected_correct_cover(&adj, &overlay_mask, correct));
+        summary.requests = requests;
+        summary.finds = finds;
+        summary.recoveries_served = served;
+        summary.recovered = recovered;
+        summary.store_high_water = high_water;
+        summary.true_suspicions = true_sus;
+        summary.false_suspicions = false_sus;
+    }
+}
+
+/// Builds the paper's Figure-5 worst case — "all nodes that belong to the
+/// overlay are Byzantine and therefore all messages will be disseminated
+/// using the gossip-request mechanism" — as a concrete scenario:
+///
+/// * `c` correct nodes (ids `0..c`) on a line at 100 m spacing (radio range
+///   250 m, so the correct graph is connected through ±1/±2 links);
+/// * `c − 1` mute Byzantine nodes with the **highest ids**, interleaved at
+///   the 50 m offsets. Each mute node's closed neighbourhood covers every
+///   neighbour of the adjacent correct nodes, so under the id-based election
+///   every correct node prunes itself and the overlay is mutes-only — until
+///   the MUTE failure detector evicts them.
+///
+/// Returns a scenario with an ideal-disk radio (the formal model §3.5
+/// analyses).
+pub fn figure5_worst_case(c: usize, seed: u64) -> ScenarioConfig {
+    assert!(c >= 3, "need at least 3 correct nodes");
+    let mut positions: Vec<Position> = (0..c)
+        .map(|i| Position::new(100.0 * i as f64, 50.0))
+        .collect();
+    let mutes = c - 1;
+    positions.extend((0..mutes).map(|j| Position::new(100.0 * j as f64 + 50.0, 50.0)));
+    let n = positions.len();
+    let width = 100.0 * c as f64 + 1.0;
+    ScenarioConfig {
+        seed,
+        n,
+        sim: SimConfig {
+            field: byzcast_sim::Field::new(width, 100.0),
+            radio: byzcast_sim::RadioConfig::ideal_disk(250.0),
+            ..SimConfig::default()
+        },
+        mobility: MobilityChoice::Explicit(positions),
+        adversary: Some(AdversaryKind::Mute(MutePolicy::DropDataAndGossip)),
+        adversary_ids: Some((c as u32..n as u32).map(NodeId).collect()),
+        ..ScenarioConfig::default()
+    }
+}
+
+/// Looks through adversary wrappers to the underlying [`ByzcastNode`], when
+/// there is one (standalone adversaries have none).
+pub fn byz_view(sim: &Simulator<WireMsg>, id: NodeId) -> Option<&ByzcastNode> {
+    if let Some(n) = sim.protocol::<ByzcastNode>(id) {
+        return Some(n);
+    }
+    if let Some(w) = sim.protocol::<MuteNode>(id) {
+        return Some(w.inner());
+    }
+    if let Some(w) = sim.protocol::<ForgerNode>(id) {
+        return Some(w.inner());
+    }
+    if let Some(w) = sim.protocol::<VerboseNode>(id) {
+        return Some(w.inner());
+    }
+    if let Some(w) = sim.protocol::<SelectiveForwarder>(id) {
+        return Some(w.inner());
+    }
+    if let Some(w) = sim.protocol::<SilentNode<ByzcastNode>>(id) {
+        return Some(w.inner());
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_scenario() -> ScenarioConfig {
+        // Dense enough (25 nodes, 250 m range, 500 m × 500 m) that the
+        // ground topology is connected with overwhelming probability.
+        ScenarioConfig {
+            seed: 7,
+            n: 25,
+            sim: SimConfig {
+                field: byzcast_sim::Field::new(500.0, 500.0),
+                ..SimConfig::default()
+            },
+            ..ScenarioConfig::default()
+        }
+    }
+
+    fn small_workload() -> Workload {
+        Workload {
+            count: 3,
+            start: SimDuration::from_secs(4),
+            interval: SimDuration::from_secs(1),
+            drain: SimDuration::from_secs(8),
+            ..Workload::default()
+        }
+    }
+
+    #[test]
+    fn byzcast_run_delivers_most_messages() {
+        let s = small_scenario().run(&small_workload());
+        assert_eq!(s.n, 25);
+        assert_eq!(s.correct, 25);
+        assert_eq!(s.messages, 3);
+        assert!(
+            s.delivery_ratio > 0.9,
+            "delivery ratio {}",
+            s.delivery_ratio
+        );
+        assert!(s.overlay_size.is_some());
+        assert!(s.frames_sent > 0);
+    }
+
+    #[test]
+    fn flooding_run_delivers_and_sends_more_data_frames() {
+        let byz = small_scenario().run(&small_workload());
+        let flood = ScenarioConfig {
+            protocol: ProtocolChoice::Flooding,
+            ..small_scenario()
+        }
+        .run(&small_workload());
+        assert!(
+            flood.delivery_ratio > 0.9,
+            "flooding ratio {}",
+            flood.delivery_ratio
+        );
+        assert!(
+            flood.data_frames > byz.data_frames,
+            "flooding {} vs byzcast {} data frames",
+            flood.data_frames,
+            byz.data_frames
+        );
+        assert_eq!(flood.overlay_size, None);
+    }
+
+    #[test]
+    fn multi_overlay_run_sends_multiple_copies() {
+        let mo = ScenarioConfig {
+            protocol: ProtocolChoice::MultiOverlay { f: 1 },
+            ..small_scenario()
+        }
+        .run(&small_workload());
+        assert!(mo.delivery_ratio > 0.9, "f+1 ratio {}", mo.delivery_ratio);
+        assert_eq!(mo.protocol, "2-overlays");
+    }
+
+    #[test]
+    fn adversary_selection_prefers_high_ids() {
+        let s = ScenarioConfig {
+            adversary: Some(AdversaryKind::Mute(MutePolicy::DropData)),
+            adversary_count: 3,
+            ..small_scenario()
+        };
+        let adv = s.adversary_set();
+        assert_eq!(
+            adv.into_iter().collect::<Vec<_>>(),
+            vec![NodeId(22), NodeId(23), NodeId(24)]
+        );
+        let mask = s.correct_mask();
+        assert!(mask[0] && !mask[24]);
+    }
+
+    #[test]
+    fn explicit_adversary_ids_override_count() {
+        let s = ScenarioConfig {
+            adversary: Some(AdversaryKind::Silent),
+            adversary_count: 3,
+            adversary_ids: Some(vec![NodeId(1)]),
+            ..small_scenario()
+        };
+        assert_eq!(s.adversary_set().len(), 1);
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let a = small_scenario().run(&small_workload());
+        let b = small_scenario().run(&small_workload());
+        assert_eq!(a.frames_sent, b.frames_sent);
+        assert_eq!(a.delivery_ratio, b.delivery_ratio);
+        assert_eq!(a.collisions, b.collisions);
+    }
+
+    #[test]
+    fn mute_adversaries_reduce_nothing_fatal() {
+        let s = ScenarioConfig {
+            n: 30,
+            adversary: Some(AdversaryKind::Mute(MutePolicy::DropData)),
+            adversary_count: 3,
+            ..small_scenario()
+        }
+        .run(&small_workload());
+        assert_eq!(s.correct, 27);
+        // Gossip+recovery should keep delivery useful even with mute overlay
+        // claimants (generous threshold; the experiment measures precisely).
+        assert!(s.delivery_ratio > 0.5, "ratio {}", s.delivery_ratio);
+    }
+}
+
+#[cfg(test)]
+mod figure5_tests {
+    use super::*;
+    use crate::Workload;
+
+    #[test]
+    fn figure5_forces_the_gossip_request_path() {
+        let config = figure5_worst_case(8, 1);
+        let w = Workload {
+            senders: vec![NodeId(0)],
+            count: 5,
+            payload_bytes: 256,
+            start: SimDuration::from_secs(8),
+            interval: SimDuration::from_secs(2),
+            drain: SimDuration::from_secs(60),
+        };
+        let s = config.run(&w);
+        // Every correct node still accepts every message…
+        assert_eq!(s.delivery_ratio, 1.0, "delivery {}", s.delivery_ratio);
+        // …but only through the recovery machinery: the mute overlay forces
+        // requests, and far nodes pay a per-hop gossip/request cycle.
+        assert!(
+            s.requests > 0,
+            "no requests — the overlay was not mute-only"
+        );
+        assert!(
+            s.recoveries_served > 0,
+            "no recovery responses — dissemination took the fast path"
+        );
+        assert!(
+            s.max_latency_s > 0.5,
+            "far nodes arrived too fast ({}) for the gossip-request chain",
+            s.max_latency_s
+        );
+    }
+}

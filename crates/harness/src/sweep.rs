@@ -1,0 +1,161 @@
+//! Replication over seeds and aggregation of summaries.
+
+use crate::scenario::ScenarioConfig;
+use crate::summary::RunSummary;
+use crate::workload::Workload;
+
+/// Runs the scenario once per seed, returning all summaries.
+pub fn replicate(config: &ScenarioConfig, workload: &Workload, seeds: &[u64]) -> Vec<RunSummary> {
+    seeds
+        .iter()
+        .map(|&seed| {
+            ScenarioConfig {
+                seed,
+                ..config.clone()
+            }
+            .run(workload)
+        })
+        .collect()
+}
+
+/// Averages a set of summaries (same scenario, different seeds) field-wise.
+/// Counters become means; `overlay_ok` becomes "all replicas ok".
+///
+/// # Panics
+///
+/// Panics if `summaries` is empty.
+pub fn aggregate(summaries: &[RunSummary]) -> RunSummary {
+    assert!(!summaries.is_empty(), "cannot aggregate zero summaries");
+    let k = summaries.len() as f64;
+    let mean_f = |f: fn(&RunSummary) -> f64| summaries.iter().map(f).sum::<f64>() / k;
+    let mean_u = |f: fn(&RunSummary) -> u64| {
+        (summaries.iter().map(f).sum::<u64>() as f64 / k).round() as u64
+    };
+    RunSummary {
+        protocol: summaries[0].protocol.clone(),
+        n: summaries[0].n,
+        correct: summaries[0].correct,
+        messages: summaries[0].messages,
+        delivery_ratio: mean_f(|s| s.delivery_ratio),
+        min_delivery_ratio: summaries
+            .iter()
+            .map(|s| s.min_delivery_ratio)
+            .fold(f64::INFINITY, f64::min),
+        frames_sent: mean_u(|s| s.frames_sent),
+        bytes_sent: mean_u(|s| s.bytes_sent),
+        data_frames: mean_u(|s| s.data_frames),
+        control_frames: mean_u(|s| s.control_frames),
+        frames_per_delivery: mean_f(|s| {
+            if s.frames_per_delivery.is_finite() {
+                s.frames_per_delivery
+            } else {
+                0.0
+            }
+        }),
+        mean_latency_s: mean_f(|s| s.mean_latency_s),
+        p99_latency_s: mean_f(|s| s.p99_latency_s),
+        max_latency_s: summaries
+            .iter()
+            .map(|s| s.max_latency_s)
+            .fold(0.0, f64::max),
+        collisions: mean_u(|s| s.collisions),
+        noise_losses: mean_u(|s| s.noise_losses),
+        overlay_size: summaries[0].overlay_size.map(|_| {
+            (summaries
+                .iter()
+                .filter_map(|s| s.overlay_size)
+                .sum::<usize>() as f64
+                / k)
+                .round() as usize
+        }),
+        overlay_ok: summaries[0]
+            .overlay_ok
+            .map(|_| summaries.iter().all(|s| s.overlay_ok.unwrap_or(false))),
+        requests: mean_u(|s| s.requests),
+        finds: mean_u(|s| s.finds),
+        recoveries_served: mean_u(|s| s.recoveries_served),
+        recovered: mean_u(|s| s.recovered),
+        store_high_water: summaries
+            .iter()
+            .map(|s| s.store_high_water)
+            .max()
+            .unwrap_or(0),
+        true_suspicions: mean_u(|s| s.true_suspicions),
+        false_suspicions: mean_u(|s| s.false_suspicions),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(ratio: f64, frames: u64) -> RunSummary {
+        RunSummary {
+            protocol: "x".into(),
+            n: 10,
+            correct: 10,
+            messages: 5,
+            delivery_ratio: ratio,
+            min_delivery_ratio: ratio,
+            frames_sent: frames,
+            overlay_size: Some(4),
+            overlay_ok: Some(true),
+            ..RunSummary::default()
+        }
+    }
+
+    #[test]
+    fn aggregate_means_fields() {
+        let agg = aggregate(&[summary(0.8, 100), summary(1.0, 200)]);
+        assert!((agg.delivery_ratio - 0.9).abs() < 1e-9);
+        assert_eq!(agg.frames_sent, 150);
+        assert_eq!(agg.overlay_size, Some(4));
+        assert_eq!(agg.overlay_ok, Some(true));
+        assert!((agg.min_delivery_ratio - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlay_ok_requires_all_replicas() {
+        let mut bad = summary(1.0, 100);
+        bad.overlay_ok = Some(false);
+        let agg = aggregate(&[summary(1.0, 100), bad]);
+        assert_eq!(agg.overlay_ok, Some(false));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero summaries")]
+    fn empty_aggregate_panics() {
+        aggregate(&[]);
+    }
+}
+
+#[cfg(test)]
+mod replicate_tests {
+    use super::*;
+    use crate::scenario::ScenarioConfig;
+    use byzcast_sim::{Field, SimConfig};
+
+    #[test]
+    fn replicate_varies_only_the_seed() {
+        let config = ScenarioConfig {
+            n: 20,
+            sim: SimConfig {
+                field: Field::new(450.0, 450.0),
+                ..SimConfig::default()
+            },
+            ..ScenarioConfig::default()
+        };
+        let w = Workload {
+            count: 3,
+            ..Workload::default()
+        };
+        let summaries = replicate(&config, &w, &[4, 5]);
+        assert_eq!(summaries.len(), 2);
+        // Different seeds almost surely differ in frame counts…
+        assert_ne!(summaries[0].frames_sent, summaries[1].frames_sent);
+        // …while replicating one seed reproduces exactly.
+        let again = replicate(&config, &w, &[4]);
+        assert_eq!(again[0].frames_sent, summaries[0].frames_sent);
+        assert_eq!(again[0].delivery_ratio, summaries[0].delivery_ratio);
+    }
+}

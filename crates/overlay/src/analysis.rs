@@ -1,0 +1,175 @@
+//! Graph analyses for overlay quality.
+//!
+//! The overlay maintenance goal (paper §3.3): "eventually between every pair
+//! of correct nodes p and q there will be a path consisting of overlay nodes
+//! that do not exhibit externally visible Byzantine behavior", while "for
+//! efficiency reasons, the overlay should consist of as few nodes as
+//! possible". These functions measure exactly that on ground-truth
+//! adjacency — used by overlay tests, experiment R5 (overlay quality) and R6
+//! (self-healing after suspicion).
+
+use std::collections::VecDeque;
+
+use byzcast_sim::NodeId;
+
+/// Whether the subgraph induced by `include` is connected (vacuously true
+/// when fewer than two nodes are included).
+pub fn induced_connected(adj: &[Vec<NodeId>], include: &[bool]) -> bool {
+    let n = adj.len();
+    assert_eq!(include.len(), n, "include mask length mismatch");
+    let members: Vec<usize> = (0..n).filter(|&i| include[i]).collect();
+    if members.len() < 2 {
+        return true;
+    }
+    let mut seen = vec![false; n];
+    let mut queue = VecDeque::new();
+    seen[members[0]] = true;
+    queue.push_back(members[0]);
+    let mut reached = 1;
+    while let Some(u) = queue.pop_front() {
+        for &v in &adj[u] {
+            let vi = v.index();
+            if include[vi] && !seen[vi] {
+                seen[vi] = true;
+                reached += 1;
+                queue.push_back(vi);
+            }
+        }
+    }
+    reached == members.len()
+}
+
+/// Whether every node in `universe` is in `overlay` or adjacent to an
+/// overlay member (the domination property).
+pub fn dominates(adj: &[Vec<NodeId>], overlay: &[bool], universe: &[bool]) -> bool {
+    let n = adj.len();
+    assert_eq!(overlay.len(), n);
+    assert_eq!(universe.len(), n);
+    (0..n)
+        .filter(|&i| universe[i])
+        .all(|i| overlay[i] || adj[i].iter().any(|v| overlay[v.index()]))
+}
+
+/// The paper's combined overlay goal restricted to correct nodes: the
+/// correct overlay members form a connected subgraph, and every correct node
+/// is an overlay member or adjacent to a *correct* overlay member.
+pub fn connected_correct_cover(adj: &[Vec<NodeId>], overlay: &[bool], correct: &[bool]) -> bool {
+    let n = adj.len();
+    let correct_overlay: Vec<bool> = (0..n).map(|i| overlay[i] && correct[i]).collect();
+    if !induced_connected(adj, &correct_overlay) {
+        return false;
+    }
+    (0..n)
+        .filter(|&i| correct[i])
+        .all(|i| correct_overlay[i] || adj[i].iter().any(|v| correct_overlay[v.index()]))
+}
+
+/// Hop distances from `source` in the full graph (`None` = unreachable).
+pub fn bfs_distances(adj: &[Vec<NodeId>], source: NodeId) -> Vec<Option<u32>> {
+    let n = adj.len();
+    let mut dist = vec![None; n];
+    let mut queue = VecDeque::new();
+    dist[source.index()] = Some(0);
+    queue.push_back(source.index());
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u].expect("queued nodes have distances");
+        for &v in &adj[u] {
+            if dist[v.index()].is_none() {
+                dist[v.index()] = Some(du + 1);
+                queue.push_back(v.index());
+            }
+        }
+    }
+    dist
+}
+
+/// Whether the subgraph induced by `include` is an independent set (no two
+/// included nodes adjacent) — sanity check for the MIS core.
+pub fn is_independent_set(adj: &[Vec<NodeId>], include: &[bool]) -> bool {
+    (0..adj.len())
+        .filter(|&i| include[i])
+        .all(|i| adj[i].iter().all(|v| !include[v.index()]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Path graph 0-1-2-3.
+    fn path4() -> Vec<Vec<NodeId>> {
+        vec![
+            vec![NodeId(1)],
+            vec![NodeId(0), NodeId(2)],
+            vec![NodeId(1), NodeId(3)],
+            vec![NodeId(2)],
+        ]
+    }
+
+    #[test]
+    fn connectivity_of_induced_subgraphs() {
+        let adj = path4();
+        assert!(induced_connected(&adj, &[true, true, true, true]));
+        assert!(!induced_connected(&adj, &[true, false, true, false]));
+        assert!(induced_connected(&adj, &[true, false, false, false]));
+        assert!(induced_connected(&adj, &[false, false, false, false]));
+    }
+
+    #[test]
+    fn domination_checks() {
+        let adj = path4();
+        let all = [true; 4];
+        // {1, 2} dominates the path.
+        assert!(dominates(&adj, &[false, true, true, false], &all));
+        // {0} does not reach 2 or 3.
+        assert!(!dominates(&adj, &[true, false, false, false], &all));
+        // Restricting the universe can make it pass.
+        assert!(dominates(
+            &adj,
+            &[true, false, false, false],
+            &[true, true, false, false]
+        ));
+    }
+
+    #[test]
+    fn connected_correct_cover_requires_both_properties() {
+        let adj = path4();
+        let correct = [true; 4];
+        // {1, 2}: connected and dominating.
+        assert!(connected_correct_cover(
+            &adj,
+            &[false, true, true, false],
+            &correct
+        ));
+        // {0, 3}: dominating-ish but not connected.
+        assert!(!connected_correct_cover(
+            &adj,
+            &[true, false, false, true],
+            &correct
+        ));
+        // {1, 2} with node 2 Byzantine: correct overlay {1} no longer covers 3.
+        assert!(!connected_correct_cover(
+            &adj,
+            &[false, true, true, false],
+            &[true, true, false, true]
+        ));
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let adj = path4();
+        let d = bfs_distances(&adj, NodeId(0));
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3)]);
+        // Disconnected graph.
+        let adj2 = vec![vec![], vec![]];
+        let d2 = bfs_distances(&adj2, NodeId(0));
+        assert_eq!(d2, vec![Some(0), None]);
+    }
+
+    #[test]
+    fn independence_check() {
+        let adj = path4();
+        assert!(is_independent_set(&adj, &[true, false, true, false]));
+        assert!(!is_independent_set(&adj, &[true, true, false, false]));
+        assert!(is_independent_set(&adj, &[false; 4]));
+    }
+}

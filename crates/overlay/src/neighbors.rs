@@ -1,0 +1,284 @@
+//! The neighbour table: each node's two-hop view of the network, built from
+//! periodic signed beacons.
+//!
+//! "Every correct overlay node periodically publishes this fact to its
+//! neighbors, so in particular, each overlay node eventually knows about all
+//! its correct overlay neighbors." Beacons carry the sender's overlay role,
+//! its one-hop neighbour list (giving receivers a two-hop view, which the
+//! Wu–Li rules need), the list of its active neighbours (the paper: "p
+//! records for each neighbor the list of its active neighbors"), and its
+//! current suspicions (consumed by the TRUST detector, not stored here).
+//! Entries expire when beacons stop arriving, which is how departed or mute
+//! neighbours fall out of the view.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use byzcast_sim::{NodeId, SimDuration, SimTime};
+
+use crate::OverlayRole;
+
+/// What one beacon told us about a neighbour.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NeighborInfo {
+    /// When the most recent beacon from this neighbour arrived.
+    pub last_heard: SimTime,
+    /// The neighbour's advertised overlay role.
+    pub role: OverlayRole,
+    /// The neighbour's advertised Wu–Li *marked* flag (role-independent;
+    /// what CDS pruning rules compare against).
+    pub marked: bool,
+    /// The neighbour's advertised one-hop neighbour set.
+    pub neighbors: BTreeSet<NodeId>,
+    /// The neighbour's advertised *dominator* neighbours (used by the MIS+B
+    /// bridge rule to find dominators two hops away).
+    pub dominator_neighbors: BTreeSet<NodeId>,
+}
+
+/// A node's view of its one-hop neighbourhood (and, through advertised
+/// lists, its two-hop neighbourhood).
+///
+/// ```
+/// use byzcast_overlay::{NeighborTable, OverlayRole};
+/// use byzcast_sim::{NodeId, SimDuration, SimTime};
+///
+/// let mut table = NeighborTable::new(SimDuration::from_secs(3));
+/// table.record_beacon(
+///     SimTime::from_secs(1),
+///     NodeId(2),
+///     OverlayRole::Dominator,
+///     [NodeId(1), NodeId(3)],
+///     [NodeId(3)],
+/// );
+/// assert!(table.contains(NodeId(2)));
+/// assert!(table.are_adjacent(NodeId(2), NodeId(3)));
+/// table.prune(SimTime::from_secs(10)); // beacons stopped: entry expires
+/// assert!(table.is_empty());
+/// ```
+#[derive(Clone, Debug)]
+pub struct NeighborTable {
+    timeout: SimDuration,
+    entries: BTreeMap<NodeId, NeighborInfo>,
+}
+
+impl NeighborTable {
+    /// Creates a table whose entries expire `timeout` after their last
+    /// beacon.
+    pub fn new(timeout: SimDuration) -> Self {
+        NeighborTable {
+            timeout,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// The expiry timeout.
+    pub fn timeout(&self) -> SimDuration {
+        self.timeout
+    }
+
+    /// Records a beacon heard from `from`.
+    pub fn record_beacon(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        role: OverlayRole,
+        neighbors: impl IntoIterator<Item = NodeId>,
+        dominator_neighbors: impl IntoIterator<Item = NodeId>,
+    ) {
+        self.record_beacon_marked(
+            now,
+            from,
+            role,
+            role.is_active(),
+            neighbors,
+            dominator_neighbors,
+        );
+    }
+
+    /// Records a beacon carrying an explicit marked flag.
+    pub fn record_beacon_marked(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        role: OverlayRole,
+        marked: bool,
+        neighbors: impl IntoIterator<Item = NodeId>,
+        dominator_neighbors: impl IntoIterator<Item = NodeId>,
+    ) {
+        self.entries.insert(
+            from,
+            NeighborInfo {
+                last_heard: now,
+                role,
+                marked,
+                neighbors: neighbors.into_iter().collect(),
+                dominator_neighbors: dominator_neighbors.into_iter().collect(),
+            },
+        );
+    }
+
+    /// Drops entries whose last beacon is older than the timeout.
+    pub fn prune(&mut self, now: SimTime) {
+        let timeout = self.timeout;
+        self.entries
+            .retain(|_, info| now.saturating_since(info.last_heard) <= timeout);
+    }
+
+    /// Removes a neighbour outright (e.g. on conclusive misbehaviour).
+    pub fn remove(&mut self, node: NodeId) {
+        self.entries.remove(&node);
+    }
+
+    /// The live neighbour ids, in increasing order.
+    pub fn neighbor_ids(&self) -> Vec<NodeId> {
+        self.entries.keys().copied().collect()
+    }
+
+    /// Info for a specific neighbour.
+    pub fn info(&self, node: NodeId) -> Option<&NeighborInfo> {
+        self.entries.get(&node)
+    }
+
+    /// Iterates `(id, info)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &NeighborInfo)> {
+        self.entries.iter().map(|(&id, info)| (id, info))
+    }
+
+    /// Whether `node` is currently a live neighbour.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.entries.contains_key(&node)
+    }
+
+    /// Number of live neighbours.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether, according to advertised lists, `a` and `b` are adjacent.
+    /// Falls back to `false` when neither endpoint's list is known.
+    pub fn are_adjacent(&self, a: NodeId, b: NodeId) -> bool {
+        if let Some(ia) = self.entries.get(&a) {
+            if ia.neighbors.contains(&b) {
+                return true;
+            }
+        }
+        if let Some(ib) = self.entries.get(&b) {
+            if ib.neighbors.contains(&a) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> NeighborTable {
+        NeighborTable::new(SimDuration::from_secs(3))
+    }
+
+    #[test]
+    fn record_and_query() {
+        let mut t = table();
+        let now = SimTime::from_secs(1);
+        t.record_beacon(
+            now,
+            NodeId(2),
+            OverlayRole::Dominator,
+            [NodeId(1), NodeId(3)],
+            [NodeId(3)],
+        );
+        assert!(t.contains(NodeId(2)));
+        assert_eq!(t.len(), 1);
+        let info = t.info(NodeId(2)).unwrap();
+        assert_eq!(info.role, OverlayRole::Dominator);
+        assert!(info.neighbors.contains(&NodeId(3)));
+        assert!(info.dominator_neighbors.contains(&NodeId(3)));
+    }
+
+    #[test]
+    fn prune_evicts_stale_entries() {
+        let mut t = table();
+        t.record_beacon(
+            SimTime::from_secs(1),
+            NodeId(2),
+            OverlayRole::Passive,
+            [],
+            [],
+        );
+        t.record_beacon(
+            SimTime::from_secs(5),
+            NodeId(3),
+            OverlayRole::Passive,
+            [],
+            [],
+        );
+        t.prune(SimTime::from_secs(5));
+        assert!(!t.contains(NodeId(2)), "stale entry survived");
+        assert!(t.contains(NodeId(3)));
+    }
+
+    #[test]
+    fn newer_beacon_replaces_older() {
+        let mut t = table();
+        t.record_beacon(
+            SimTime::from_secs(1),
+            NodeId(2),
+            OverlayRole::Passive,
+            [],
+            [],
+        );
+        t.record_beacon(
+            SimTime::from_secs(2),
+            NodeId(2),
+            OverlayRole::Bridge,
+            [NodeId(9)],
+            [],
+        );
+        let info = t.info(NodeId(2)).unwrap();
+        assert_eq!(info.role, OverlayRole::Bridge);
+        assert_eq!(info.last_heard, SimTime::from_secs(2));
+        assert!(info.neighbors.contains(&NodeId(9)));
+    }
+
+    #[test]
+    fn adjacency_uses_either_endpoints_list() {
+        let mut t = table();
+        let now = SimTime::from_secs(1);
+        t.record_beacon(now, NodeId(2), OverlayRole::Passive, [NodeId(3)], []);
+        t.record_beacon(now, NodeId(3), OverlayRole::Passive, [], []);
+        assert!(t.are_adjacent(NodeId(2), NodeId(3)));
+        assert!(t.are_adjacent(NodeId(3), NodeId(2)));
+        assert!(!t.are_adjacent(NodeId(3), NodeId(4)));
+    }
+
+    #[test]
+    fn neighbor_ids_are_sorted() {
+        let mut t = table();
+        let now = SimTime::from_secs(1);
+        for id in [5u32, 1, 3] {
+            t.record_beacon(now, NodeId(id), OverlayRole::Passive, [], []);
+        }
+        assert_eq!(t.neighbor_ids(), vec![NodeId(1), NodeId(3), NodeId(5)]);
+    }
+
+    #[test]
+    fn remove_is_immediate() {
+        let mut t = table();
+        t.record_beacon(
+            SimTime::from_secs(1),
+            NodeId(2),
+            OverlayRole::Passive,
+            [],
+            [],
+        );
+        t.remove(NodeId(2));
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,1233 @@
+//! The discrete-event simulation engine.
+//!
+//! The engine owns the nodes (boxed [`Protocol`] state machines), their
+//! positions, the shared radio medium, per-node MAC state, timers, and
+//! metrics. It processes events in deterministic time order:
+//!
+//! 1. **Protocol actions** (from callbacks) enqueue frames at the node's MAC.
+//! 2. The **MAC** carrier-senses the medium and transmits after a random
+//!    backoff, retrying while the medium is busy.
+//! 3. A **transmission** occupies the medium for its air time; at its end the
+//!    engine resolves, per potential receiver, half-duplex misses, collisions
+//!    (any overlapping audible transmission destroys the frame), fading and
+//!    background-noise losses — and dispatches `on_packet` for survivors.
+//!
+//! Runs are bit-for-bit reproducible from [`SimConfig::seed`].
+
+use std::any::Any;
+use std::collections::HashMap;
+
+use crate::event::{EventKind, EventQueue};
+use crate::geometry::{Field, Position};
+use crate::mac::{MacConfig, MacState};
+use crate::metrics::{BroadcastRecord, DeliveryRecord, Metrics};
+use crate::mobility::{MobilityModel, StaticPlacement};
+use crate::node::{Action, AppPayload, Context, Message, NodeId, Protocol, TimerKey};
+use crate::radio::{RadioConfig, RadioModel};
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{Trace, TraceEvent};
+
+/// Top-level simulation parameters.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Master seed; all randomness in the run derives from it.
+    pub seed: u64,
+    /// The simulation area.
+    pub field: Field,
+    /// Radio propagation parameters.
+    pub radio: RadioConfig,
+    /// MAC-layer parameters.
+    pub mac: MacConfig,
+    /// How often mobile positions are advanced.
+    pub mobility_tick: SimDuration,
+    /// Trace ring-buffer capacity; zero disables tracing.
+    pub trace_capacity: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0,
+            field: Field::default(),
+            radio: RadioConfig::default(),
+            mac: MacConfig::default(),
+            mobility_tick: SimDuration::from_millis(200),
+            trace_capacity: 0,
+        }
+    }
+}
+
+/// Object-safe extension of [`Protocol`] adding downcasting, so tests and the
+/// harness can inspect concrete protocol state inside a running simulation.
+///
+/// Blanket-implemented for every `Protocol + 'static`; do not implement
+/// manually.
+pub trait DynProtocol: Protocol {
+    /// The protocol as `Any`, for downcasting.
+    fn as_any(&self) -> &dyn Any;
+    /// The protocol as mutable `Any`, for downcasting.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl<T: Protocol + 'static> DynProtocol for T {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A boxed, downcastable protocol instance.
+pub type BoxedProtocol<M> = Box<dyn DynProtocol<Msg = M>>;
+
+/// An in-flight (or recently finished) radio transmission.
+#[derive(Clone, Debug)]
+struct Transmission<M> {
+    id: u64,
+    src: NodeId,
+    src_pos: Position,
+    start: SimTime,
+    end: SimTime,
+    msg: M,
+}
+
+/// Builds a [`Simulator`].
+pub struct SimBuilder<M: Message> {
+    config: SimConfig,
+    mobility: Box<dyn MobilityModel>,
+    explicit_positions: Option<Vec<Position>>,
+    factories: Vec<BoxedProtocol<M>>,
+}
+
+impl<M: Message> SimBuilder<M> {
+    /// Starts a builder with uniform-random static placement.
+    pub fn new(config: SimConfig) -> Self {
+        SimBuilder {
+            config,
+            mobility: Box::new(StaticPlacement::UniformRandom),
+            explicit_positions: None,
+            factories: Vec::new(),
+        }
+    }
+
+    /// Uses `model` to place and move nodes.
+    pub fn with_mobility(mut self, model: Box<dyn MobilityModel>) -> Self {
+        self.mobility = model;
+        self
+    }
+
+    /// Places nodes at exactly these positions (overrides the mobility
+    /// model's initial placement; movement still follows the model).
+    pub fn with_positions(mut self, positions: Vec<Position>) -> Self {
+        self.explicit_positions = Some(positions);
+        self
+    }
+
+    /// Appends `n` nodes whose protocols are produced by `factory`
+    /// (called with each new node's id).
+    pub fn with_nodes(
+        mut self,
+        n: usize,
+        mut factory: impl FnMut(NodeId) -> BoxedProtocol<M>,
+    ) -> Self {
+        let base = self.factories.len() as u32;
+        for i in 0..n {
+            self.factories.push(factory(NodeId(base + i as u32)));
+        }
+        self
+    }
+
+    /// Appends a single node with the given protocol.
+    pub fn with_node(mut self, protocol: BoxedProtocol<M>) -> Self {
+        self.factories.push(protocol);
+        self
+    }
+
+    /// Finalizes the simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the radio or MAC configuration is invalid, no nodes were
+    /// added, or explicit positions do not match the node count.
+    pub fn build(self) -> Simulator<M> {
+        if let Err(e) = self.config.radio.validate() {
+            panic!("invalid radio config: {e}");
+        }
+        if let Err(e) = self.config.mac.validate() {
+            panic!("invalid MAC config: {e}");
+        }
+        let n = self.factories.len();
+        assert!(n > 0, "simulation needs at least one node");
+
+        let mut master = SimRng::new(self.config.seed);
+        let mut placement_rng = master.fork(0x504c4143); // "PLAC"
+        let mut mobility = self.mobility;
+        let positions = match self.explicit_positions {
+            Some(ps) => {
+                assert_eq!(ps.len(), n, "explicit positions count mismatch");
+                // Let the mobility model initialize its own state for n nodes.
+                let _ = mobility.initial_positions(n, &self.config.field, &mut placement_rng);
+                ps
+            }
+            None => mobility.initial_positions(n, &self.config.field, &mut placement_rng),
+        };
+        let node_rngs = (0..n).map(|i| master.fork(1000 + i as u64)).collect();
+        let mobility_rng = master.fork(0x4d4f42);
+        let trace = if self.config.trace_capacity > 0 {
+            Trace::with_capacity(self.config.trace_capacity)
+        } else {
+            Trace::disabled()
+        };
+
+        let mut queue = EventQueue::new();
+        queue.push(SimTime::ZERO, EventKind::StartAll);
+        let is_static = mobility.is_static();
+        if !is_static {
+            queue.push(
+                SimTime::ZERO + self.config.mobility_tick,
+                EventKind::MobilityTick,
+            );
+        }
+
+        let radio = RadioModel::new(self.config.radio);
+        Simulator {
+            metrics: Metrics::new(n),
+            timers: vec![HashMap::new(); n],
+            mac: (0..n).map(|_| MacState::default()).collect(),
+            nodes: self.factories,
+            node_rngs,
+            positions,
+            mobility,
+            mobility_rng,
+            radio,
+            config: self.config,
+            now: SimTime::ZERO,
+            queue,
+            active_tx: Vec::new(),
+            tx_counter: 0,
+            max_air_time: SimDuration::ZERO,
+            trace,
+        }
+    }
+}
+
+/// The simulator: a network of protocol nodes over a shared wireless medium.
+pub struct Simulator<M: Message> {
+    config: SimConfig,
+    radio: RadioModel,
+    now: SimTime,
+    queue: EventQueue,
+    nodes: Vec<BoxedProtocol<M>>,
+    node_rngs: Vec<SimRng>,
+    positions: Vec<Position>,
+    mobility: Box<dyn MobilityModel>,
+    mobility_rng: SimRng,
+    timers: Vec<HashMap<TimerKey, SimTime>>,
+    mac: Vec<MacState<M>>,
+    active_tx: Vec<Transmission<M>>,
+    tx_counter: u64,
+    max_air_time: SimDuration,
+    metrics: Metrics,
+    trace: Trace,
+}
+
+impl<M: Message + 'static> Simulator<M> {
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The metrics collected so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The trace buffer (empty unless `trace_capacity > 0`).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Current position of `node`.
+    pub fn position(&self, node: NodeId) -> Position {
+        self.positions[node.index()]
+    }
+
+    /// Current positions of all nodes, indexed by id.
+    pub fn positions(&self) -> &[Position] {
+        &self.positions
+    }
+
+    /// The configuration this simulator was built with.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The radio model in use.
+    pub fn radio(&self) -> &RadioModel {
+        &self.radio
+    }
+
+    /// Downcasts `node`'s protocol to a concrete type for inspection.
+    pub fn protocol<P: 'static>(&self, node: NodeId) -> Option<&P> {
+        self.nodes[node.index()].as_any().downcast_ref::<P>()
+    }
+
+    /// Mutable variant of [`Simulator::protocol`].
+    pub fn protocol_mut<P: 'static>(&mut self, node: NodeId) -> Option<&mut P> {
+        self.nodes[node.index()].as_any_mut().downcast_mut::<P>()
+    }
+
+    /// Ground-truth one-hop neighbours of `node` under the nominal disk model
+    /// (the paper's `N(1, p)`).
+    pub fn nominal_neighbors(&self, node: NodeId) -> Vec<NodeId> {
+        let p = self.positions[node.index()];
+        (0..self.nodes.len() as u32)
+            .map(NodeId)
+            .filter(|&q| q != node && self.radio.in_nominal_range(&p, &self.positions[q.index()]))
+            .collect()
+    }
+
+    /// Ground-truth adjacency under the nominal disk model.
+    pub fn nominal_adjacency(&self) -> Vec<Vec<NodeId>> {
+        (0..self.nodes.len() as u32)
+            .map(|i| self.nominal_neighbors(NodeId(i)))
+            .collect()
+    }
+
+    /// Schedules an application broadcast of `size_bytes` at the absolute
+    /// instant `at` (offset from simulation start) on `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn schedule_app_broadcast(
+        &mut self,
+        at: SimDuration,
+        node: NodeId,
+        payload_id: u64,
+        size_bytes: usize,
+    ) {
+        let t = SimTime::ZERO + at;
+        assert!(t >= self.now, "cannot schedule a broadcast in the past");
+        self.queue.push(
+            t,
+            EventKind::AppBroadcast {
+                node,
+                payload: AppPayload {
+                    id: payload_id,
+                    size_bytes,
+                },
+            },
+        );
+    }
+
+    /// Runs the simulation until the absolute instant `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        while let Some(et) = self.queue.peek_time() {
+            if et > t {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked event vanished");
+            self.now = ev.time;
+            self.handle(ev.kind);
+        }
+        if t > self.now {
+            self.now = t;
+        }
+    }
+
+    /// Runs the simulation for `d` more simulated time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let target = self.now + d;
+        self.run_until(target);
+    }
+
+    fn handle(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::StartAll => {
+                for i in 0..self.nodes.len() {
+                    self.dispatch(NodeId(i as u32), |p, ctx| p.on_start(ctx));
+                }
+            }
+            EventKind::Timer { node, key } => {
+                let armed = self.timers[node.index()].get(&key).copied();
+                if armed == Some(self.now) {
+                    self.timers[node.index()].remove(&key);
+                    self.dispatch(node, |p, ctx| p.on_timer(ctx, key));
+                }
+                // Otherwise the timer was re-armed or cancelled: stale, skip.
+            }
+            EventKind::AppBroadcast { node, payload } => {
+                self.metrics.broadcasts.push(BroadcastRecord {
+                    origin: node,
+                    payload_id: payload.id,
+                    time: self.now,
+                    size_bytes: payload.size_bytes,
+                });
+                self.dispatch(node, |p, ctx| p.on_app_broadcast(ctx, payload));
+            }
+            EventKind::MacAttempt { node } => self.handle_mac_attempt(node),
+            EventKind::TxEnd { tx_id } => self.handle_tx_end(tx_id),
+            EventKind::MobilityTick => {
+                let tick = self.config.mobility_tick;
+                self.mobility.step(
+                    &mut self.positions,
+                    tick,
+                    &self.config.field,
+                    &mut self.mobility_rng,
+                );
+                self.queue.push(self.now + tick, EventKind::MobilityTick);
+            }
+        }
+    }
+
+    /// Runs a protocol callback and applies the actions it produced.
+    fn dispatch(
+        &mut self,
+        node: NodeId,
+        f: impl FnOnce(&mut dyn DynProtocol<Msg = M>, &mut Context<'_, M>),
+    ) {
+        let i = node.index();
+        let mut actions: Vec<Action<M>> = Vec::new();
+        {
+            let proto = &mut self.nodes[i];
+            let rng = &mut self.node_rngs[i];
+            let mut ctx = Context::new(node, self.now, rng, &mut actions);
+            f(proto.as_mut(), &mut ctx);
+        }
+        for action in actions {
+            self.apply(node, action);
+        }
+    }
+
+    fn apply(&mut self, node: NodeId, action: Action<M>) {
+        let i = node.index();
+        match action {
+            Action::Send(msg) => {
+                if !self.mac[i].enqueue(msg, self.config.mac.queue_capacity) {
+                    self.metrics.record_queue_drop(node);
+                    return;
+                }
+                if !self.mac[i].attempt_pending() {
+                    self.mac[i].set_attempt_pending(true);
+                    let slots = self.node_rngs[i].gen_range_u64(self.config.mac.cw_slots);
+                    let delay = self.config.mac.backoff_delay(slots);
+                    self.queue
+                        .push(self.now + delay, EventKind::MacAttempt { node });
+                }
+            }
+            Action::SetTimer { at, key } => {
+                let at = at.max(self.now);
+                self.timers[i].insert(key, at);
+                self.queue.push(at, EventKind::Timer { node, key });
+            }
+            Action::CancelTimer(key) => {
+                self.timers[i].remove(&key);
+            }
+            Action::Deliver { origin, payload_id } => {
+                self.metrics.deliveries.push(DeliveryRecord {
+                    node,
+                    origin,
+                    payload_id,
+                    time: self.now,
+                });
+                self.trace.record(
+                    self.now,
+                    TraceEvent::Deliver {
+                        node,
+                        origin,
+                        payload_id,
+                    },
+                );
+            }
+            Action::Note(text) => {
+                self.trace.record(self.now, TraceEvent::Note { node, text });
+            }
+        }
+    }
+
+    /// Latest instant until which the medium is busy as heard at `node`
+    /// (its own transmission or any audible ongoing one); `None` if idle.
+    fn medium_busy_until(&self, node: NodeId) -> Option<SimTime> {
+        let pos = self.positions[node.index()];
+        self.active_tx
+            .iter()
+            .filter(|t| t.end > self.now)
+            .filter(|t| t.src == node || self.radio.audible(&t.src_pos, &pos))
+            .map(|t| t.end)
+            .max()
+    }
+
+    fn handle_mac_attempt(&mut self, node: NodeId) {
+        let i = node.index();
+        self.mac[i].set_attempt_pending(false);
+        if !self.mac[i].has_pending() {
+            return;
+        }
+        if let Some(busy_until) = self.medium_busy_until(node) {
+            // Medium busy (or self transmitting): back off past it.
+            self.mac[i].set_attempt_pending(true);
+            let slots = self.node_rngs[i].gen_range_u64(self.config.mac.cw_slots);
+            let delay = self.config.mac.backoff_delay(slots);
+            self.queue
+                .push(busy_until + delay, EventKind::MacAttempt { node });
+            return;
+        }
+        let msg = self.mac[i].dequeue().expect("checked has_pending");
+        self.start_transmission(node, msg);
+        if self.mac[i].has_pending() {
+            // Schedule the next frame after this transmission + fresh backoff.
+            let end = self
+                .medium_busy_until(node)
+                .expect("just started a transmission");
+            self.mac[i].set_attempt_pending(true);
+            let slots = self.node_rngs[i].gen_range_u64(self.config.mac.cw_slots);
+            let delay = self.config.mac.backoff_delay(slots);
+            self.queue.push(end + delay, EventKind::MacAttempt { node });
+        }
+    }
+
+    fn start_transmission(&mut self, node: NodeId, msg: M) {
+        let bytes = msg.wire_size();
+        let kind = msg.kind();
+        let air = SimDuration::from_micros(self.config.radio.air_time_us(bytes));
+        self.max_air_time = self.max_air_time.max(air);
+        let id = self.tx_counter;
+        self.tx_counter += 1;
+        let src_pos = self.positions[node.index()];
+        let end = self.now + air;
+        self.active_tx.push(Transmission {
+            id,
+            src: node,
+            src_pos,
+            start: self.now,
+            end,
+            msg,
+        });
+        self.mac[node.index()].set_transmitting(true);
+        self.metrics.record_send(node, kind, bytes);
+        self.trace
+            .record(self.now, TraceEvent::TxStart { node, kind, bytes });
+        self.queue.push(end, EventKind::TxEnd { tx_id: id });
+    }
+
+    fn handle_tx_end(&mut self, tx_id: u64) {
+        let tx_idx = match self.active_tx.iter().position(|t| t.id == tx_id) {
+            Some(idx) => idx,
+            None => return, // already pruned (cannot normally happen)
+        };
+        // Clone the lightweight header data; the message is borrowed per
+        // receiver below via index to avoid cloning the payload.
+        let (src, src_pos, start, end) = {
+            let t = &self.active_tx[tx_idx];
+            (t.src, t.src_pos, t.start, t.end)
+        };
+        // The sender's radio is free again (unless it has another overlapping
+        // transmission, which the MAC never produces).
+        self.mac[src.index()].set_transmitting(false);
+
+        for qi in 0..self.nodes.len() {
+            let q = NodeId(qi as u32);
+            if q == src {
+                continue;
+            }
+            let q_pos = self.positions[qi];
+            if !self.radio.audible(&src_pos, &q_pos) {
+                continue;
+            }
+            // Half-duplex: q cannot receive while itself transmitting.
+            let q_was_transmitting = self
+                .active_tx
+                .iter()
+                .any(|t| t.src == q && t.start < end && t.end > start);
+            if q_was_transmitting {
+                self.metrics.record_half_duplex_loss();
+                continue;
+            }
+            // Collision: any other transmission overlapping in time and
+            // audible at q corrupts this reception — unless the signal
+            // captures over the interferer (much closer transmitter).
+            let collided = self.active_tx.iter().any(|t| {
+                t.id != tx_id
+                    && t.src != q
+                    && t.start < end
+                    && t.end > start
+                    && self.radio.audible(&t.src_pos, &q_pos)
+                    && !self.radio.captures(&src_pos, &t.src_pos, &q_pos)
+            });
+            if collided {
+                self.metrics.record_collision(q);
+                self.trace
+                    .record(self.now, TraceEvent::Collision { node: q, from: src });
+                continue;
+            }
+            // Fading + background noise.
+            let p_link = self.radio.link_success_probability(&src_pos, &q_pos);
+            if p_link <= 0.0 {
+                continue; // audible (carrier) but not decodable: not counted
+            }
+            let received = self
+                .radio
+                .draw_reception(&src_pos, &q_pos, &mut self.node_rngs[qi]);
+            if !received {
+                self.metrics.record_noise_loss();
+                continue;
+            }
+            self.metrics.record_reception(q);
+            // Borrow the message by cloning once per actual receiver; data
+            // frames are the only large ones and fan-out is bounded by the
+            // neighbourhood size.
+            let msg = self.active_tx[tx_idx].msg.clone();
+            self.trace.record(
+                self.now,
+                TraceEvent::Rx {
+                    node: q,
+                    from: src,
+                    kind: msg.kind(),
+                },
+            );
+            self.dispatch(q, |p, ctx| p.on_packet(ctx, src, &msg));
+        }
+
+        // Prune transmissions that ended more than two max-air-times ago: no
+        // transmission still pending or future can overlap them in time.
+        let keep_after = SimTime::from_micros(
+            self.now
+                .as_micros()
+                .saturating_sub(2 * self.max_air_time.as_micros()),
+        );
+        self.active_tx.retain(|t| t.end >= keep_after);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[derive(Clone, Debug)]
+    struct TestMsg {
+        id: u64,
+        origin: NodeId,
+        bytes: usize,
+    }
+    impl Message for TestMsg {
+        fn wire_size(&self) -> usize {
+            self.bytes
+        }
+        fn kind(&self) -> &'static str {
+            "test"
+        }
+    }
+
+    /// Delivers + floods everything exactly once.
+    struct Flooder {
+        seen: HashSet<u64>,
+    }
+    impl Flooder {
+        fn boxed(_: NodeId) -> BoxedProtocol<TestMsg> {
+            Box::new(Flooder {
+                seen: HashSet::new(),
+            })
+        }
+    }
+    impl Protocol for Flooder {
+        type Msg = TestMsg;
+        fn on_packet(&mut self, ctx: &mut Context<'_, TestMsg>, _from: NodeId, msg: &TestMsg) {
+            if self.seen.insert(msg.id) {
+                ctx.deliver(msg.origin, msg.id);
+                ctx.send(msg.clone());
+            }
+        }
+        fn on_timer(&mut self, _ctx: &mut Context<'_, TestMsg>, _t: TimerKey) {}
+        fn on_app_broadcast(&mut self, ctx: &mut Context<'_, TestMsg>, payload: AppPayload) {
+            self.seen.insert(payload.id);
+            ctx.deliver(ctx.node_id(), payload.id);
+            ctx.send(TestMsg {
+                id: payload.id,
+                origin: ctx.node_id(),
+                bytes: payload.size_bytes,
+            });
+        }
+    }
+
+    fn line_config(range: f64) -> SimConfig {
+        SimConfig {
+            radio: RadioConfig::ideal_disk(range),
+            field: Field::new(1000.0, 100.0),
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn two_nodes_in_range_exchange() {
+        let config = line_config(150.0);
+        let mut sim = SimBuilder::new(config)
+            .with_positions(vec![Position::new(0.0, 50.0), Position::new(100.0, 50.0)])
+            .with_nodes(2, Flooder::boxed)
+            .build();
+        sim.schedule_app_broadcast(SimDuration::from_millis(1), NodeId(0), 1, 64);
+        sim.run_for(SimDuration::from_secs(1));
+        let m = sim.metrics();
+        assert_eq!(m.deliveries.len(), 2); // origin + neighbour
+        assert!(m.deliveries.iter().any(|d| d.node == NodeId(1)));
+    }
+
+    #[test]
+    fn out_of_range_node_hears_nothing() {
+        let config = line_config(150.0);
+        let mut sim = SimBuilder::new(config)
+            .with_positions(vec![Position::new(0.0, 50.0), Position::new(900.0, 50.0)])
+            .with_nodes(2, Flooder::boxed)
+            .build();
+        sim.schedule_app_broadcast(SimDuration::from_millis(1), NodeId(0), 1, 64);
+        sim.run_for(SimDuration::from_secs(1));
+        assert_eq!(sim.metrics().deliveries.len(), 1); // only the origin
+    }
+
+    #[test]
+    fn multihop_flooding_reaches_the_line_end() {
+        let config = line_config(150.0);
+        let positions: Vec<Position> = (0..8)
+            .map(|i| Position::new(i as f64 * 100.0, 50.0))
+            .collect();
+        let mut sim = SimBuilder::new(config)
+            .with_positions(positions)
+            .with_nodes(8, Flooder::boxed)
+            .build();
+        sim.schedule_app_broadcast(SimDuration::from_millis(1), NodeId(0), 42, 64);
+        sim.run_for(SimDuration::from_secs(5));
+        let delivered: HashSet<NodeId> = sim.metrics().deliveries.iter().map(|d| d.node).collect();
+        assert_eq!(delivered.len(), 8, "not all nodes delivered: {delivered:?}");
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_identical_runs() {
+        let run = |seed: u64| {
+            let config = SimConfig {
+                seed,
+                radio: RadioConfig::default(),
+                ..SimConfig::default()
+            };
+            let mut sim = SimBuilder::new(config)
+                .with_nodes(30, Flooder::boxed)
+                .build();
+            for k in 0..5 {
+                sim.schedule_app_broadcast(
+                    SimDuration::from_millis(10 + k * 100),
+                    NodeId(k as u32),
+                    k,
+                    256,
+                );
+            }
+            sim.run_for(SimDuration::from_secs(5));
+            (
+                sim.metrics().frames_sent,
+                sim.metrics().collision_losses,
+                sim.metrics().deliveries.len(),
+            )
+        };
+        assert_eq!(run(7), run(7));
+        // And different seeds should (almost surely) differ somewhere.
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn simultaneous_senders_collide_at_common_receiver() {
+        // Three nodes in a line: 0 and 2 both transmit at the same instant;
+        // node 1 hears both, so with no backoff both frames must collide.
+        let config = SimConfig {
+            radio: RadioConfig::ideal_disk(150.0),
+            mac: MacConfig {
+                slot_us: 0,
+                difs_us: 0,
+                cw_slots: 1,
+                queue_capacity: 8,
+            },
+            field: Field::new(1000.0, 100.0),
+            ..SimConfig::default()
+        };
+        // 0 and 2 are 200 m apart (out of range of each other, so carrier
+        // sense cannot save us) and node 1 in the middle hears both.
+        let mut sim = SimBuilder::new(config)
+            .with_positions(vec![
+                Position::new(0.0, 50.0),
+                Position::new(100.0, 50.0),
+                Position::new(200.0, 50.0),
+            ])
+            .with_nodes(3, Flooder::boxed)
+            .build();
+        sim.schedule_app_broadcast(SimDuration::from_millis(1), NodeId(0), 1, 64);
+        sim.schedule_app_broadcast(SimDuration::from_millis(1), NodeId(2), 2, 64);
+        sim.run_for(SimDuration::from_millis(50));
+        let m = sim.metrics();
+        // Node 1 must have lost both frames to the collision.
+        assert!(
+            m.collision_losses >= 2,
+            "collisions: {}",
+            m.collision_losses
+        );
+        assert!(!m.deliveries.iter().any(|d| d.node == NodeId(1)));
+    }
+
+    #[test]
+    fn carrier_sense_serializes_neighbours() {
+        // Two senders in range of each other: CSMA should let both frames
+        // through to the common receiver (one defers).
+        let config = SimConfig {
+            radio: RadioConfig::ideal_disk(300.0),
+            field: Field::new(1000.0, 100.0),
+            ..SimConfig::default()
+        };
+        let mut sim = SimBuilder::new(config)
+            .with_positions(vec![
+                Position::new(0.0, 50.0),
+                Position::new(100.0, 50.0),
+                Position::new(200.0, 50.0),
+            ])
+            .with_nodes(3, Flooder::boxed)
+            .build();
+        sim.schedule_app_broadcast(SimDuration::from_millis(1), NodeId(0), 1, 256);
+        sim.schedule_app_broadcast(SimDuration::from_millis(1), NodeId(2), 2, 256);
+        sim.run_for(SimDuration::from_secs(1));
+        let delivered_at_1: HashSet<u64> = sim
+            .metrics()
+            .deliveries
+            .iter()
+            .filter(|d| d.node == NodeId(1))
+            .map(|d| d.payload_id)
+            .collect();
+        assert_eq!(
+            delivered_at_1.len(),
+            2,
+            "CSMA failed to serialize: {delivered_at_1:?}"
+        );
+    }
+
+    #[test]
+    fn timers_fire_and_rearm_replaces() {
+        struct TimerProto {
+            fired: Vec<u64>,
+        }
+        impl Protocol for TimerProto {
+            type Msg = TestMsg;
+            fn on_start(&mut self, ctx: &mut Context<'_, TestMsg>) {
+                ctx.set_timer_after(SimDuration::from_millis(10), TimerKey(1));
+                ctx.set_timer_after(SimDuration::from_millis(20), TimerKey(2));
+                // Re-arm key 1 to 30 ms: the 10 ms deadline must not fire.
+                ctx.set_timer_after(SimDuration::from_millis(30), TimerKey(1));
+                // Cancel key 2 entirely.
+                ctx.cancel_timer(TimerKey(2));
+            }
+            fn on_packet(&mut self, _: &mut Context<'_, TestMsg>, _: NodeId, _: &TestMsg) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_, TestMsg>, t: TimerKey) {
+                self.fired.push(t.0);
+                let _ = ctx;
+            }
+            fn on_app_broadcast(&mut self, _: &mut Context<'_, TestMsg>, _: AppPayload) {}
+        }
+        let mut sim = SimBuilder::new(SimConfig::default())
+            .with_node(Box::new(TimerProto { fired: Vec::new() }))
+            .build();
+        sim.run_for(SimDuration::from_secs(1));
+        let proto = sim.protocol::<TimerProto>(NodeId(0)).unwrap();
+        assert_eq!(proto.fired, vec![1]);
+    }
+
+    #[test]
+    fn mobility_changes_connectivity_over_time() {
+        let config = SimConfig {
+            radio: RadioConfig::ideal_disk(200.0),
+            mobility_tick: SimDuration::from_millis(100),
+            ..SimConfig::default()
+        };
+        let mut sim = SimBuilder::new(config)
+            .with_mobility(Box::new(RandomWaypointForTest::new()))
+            .with_nodes(10, Flooder::boxed)
+            .build();
+        let before = sim.positions().to_vec();
+        sim.run_for(SimDuration::from_secs(10));
+        let after = sim.positions();
+        let moved = before
+            .iter()
+            .zip(after)
+            .filter(|(a, b)| a.distance(b) > 1.0)
+            .count();
+        assert!(moved >= 8, "only {moved} moved");
+    }
+
+    use crate::mobility::RandomWaypoint;
+    struct RandomWaypointForTest;
+    impl RandomWaypointForTest {
+        fn new() -> RandomWaypoint {
+            RandomWaypoint::new(5.0, 10.0, SimDuration::ZERO)
+        }
+    }
+
+    #[test]
+    fn nominal_neighbors_reflect_positions() {
+        let config = line_config(150.0);
+        let sim = SimBuilder::new(config)
+            .with_positions(vec![
+                Position::new(0.0, 50.0),
+                Position::new(100.0, 50.0),
+                Position::new(600.0, 50.0),
+            ])
+            .with_nodes(3, Flooder::boxed)
+            .build();
+        assert_eq!(sim.nominal_neighbors(NodeId(0)), vec![NodeId(1)]);
+        assert_eq!(sim.nominal_neighbors(NodeId(2)), Vec::<NodeId>::new());
+        let adj = sim.nominal_adjacency();
+        assert_eq!(adj[1], vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn metrics_count_frames_and_bytes_by_kind() {
+        let config = line_config(150.0);
+        let mut sim = SimBuilder::new(config)
+            .with_positions(vec![Position::new(0.0, 50.0), Position::new(100.0, 50.0)])
+            .with_nodes(2, Flooder::boxed)
+            .build();
+        sim.schedule_app_broadcast(SimDuration::from_millis(1), NodeId(0), 1, 64);
+        sim.run_for(SimDuration::from_secs(1));
+        let m = sim.metrics();
+        assert_eq!(m.frames_of_kind("test"), m.frames_sent);
+        assert_eq!(m.bytes_of_kind("test"), m.bytes_sent);
+        assert!(m.frames_sent >= 2); // origin + forwarder
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_simulation_panics() {
+        let _ = SimBuilder::<TestMsg>::new(SimConfig::default()).build();
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use crate::trace::TraceEvent;
+
+    #[derive(Clone, Debug)]
+    struct Blast {
+        bytes: usize,
+    }
+    impl Message for Blast {
+        fn wire_size(&self) -> usize {
+            self.bytes
+        }
+        fn kind(&self) -> &'static str {
+            "blast"
+        }
+    }
+
+    /// Sends `count` frames at start; counts queue drops.
+    struct Blaster {
+        count: usize,
+    }
+    impl Blaster {
+        fn count(&self) -> usize {
+            self.count
+        }
+    }
+    impl Protocol for Blaster {
+        type Msg = Blast;
+        fn on_start(&mut self, ctx: &mut Context<'_, Blast>) {
+            for _ in 0..self.count {
+                ctx.send(Blast { bytes: 100 });
+            }
+        }
+        fn on_packet(&mut self, _: &mut Context<'_, Blast>, _: NodeId, _: &Blast) {}
+        fn on_timer(&mut self, _: &mut Context<'_, Blast>, _: TimerKey) {}
+        fn on_app_broadcast(&mut self, _: &mut Context<'_, Blast>, _: AppPayload) {}
+    }
+
+    #[test]
+    fn interface_queue_overflow_is_counted_not_fatal() {
+        let config = SimConfig {
+            mac: MacConfig {
+                queue_capacity: 4,
+                ..MacConfig::default()
+            },
+            radio: RadioConfig::ideal_disk(100.0),
+            ..SimConfig::default()
+        };
+        let mut sim = SimBuilder::new(config)
+            .with_positions(vec![Position::new(0.0, 0.0)])
+            .with_node(Box::new(Blaster { count: 10 }))
+            .build();
+        sim.run_for(SimDuration::from_secs(1));
+        let m = sim.metrics();
+        assert_eq!(m.queue_drops, 6, "capacity 4 of 10 queued");
+        assert_eq!(m.frames_sent, 4);
+        assert_eq!(m.per_node[0].queue_drops, 6);
+    }
+
+    #[test]
+    fn trace_records_tx_rx_and_deliveries() {
+        #[derive(Clone, Debug)]
+        struct Ping;
+        impl Message for Ping {
+            fn wire_size(&self) -> usize {
+                8
+            }
+            fn kind(&self) -> &'static str {
+                "ping"
+            }
+        }
+        struct Once(bool);
+        impl Protocol for Once {
+            type Msg = Ping;
+            fn on_start(&mut self, ctx: &mut Context<'_, Ping>) {
+                if self.0 {
+                    ctx.send(Ping);
+                }
+            }
+            fn on_packet(&mut self, ctx: &mut Context<'_, Ping>, from: NodeId, _: &Ping) {
+                ctx.deliver(from, 1);
+                ctx.note("got ping");
+            }
+            fn on_timer(&mut self, _: &mut Context<'_, Ping>, _: TimerKey) {}
+            fn on_app_broadcast(&mut self, _: &mut Context<'_, Ping>, _: AppPayload) {}
+        }
+        let config = SimConfig {
+            radio: RadioConfig::ideal_disk(100.0),
+            trace_capacity: 64,
+            ..SimConfig::default()
+        };
+        let mut sim = SimBuilder::new(config)
+            .with_positions(vec![Position::new(0.0, 0.0), Position::new(50.0, 0.0)])
+            .with_node(Box::new(Once(true)))
+            .with_node(Box::new(Once(false)))
+            .build();
+        sim.run_for(SimDuration::from_secs(1));
+        let kinds: Vec<&str> = sim
+            .trace()
+            .entries()
+            .map(|e| match &e.event {
+                TraceEvent::TxStart { .. } => "tx",
+                TraceEvent::Rx { .. } => "rx",
+                TraceEvent::Deliver { .. } => "deliver",
+                TraceEvent::Note { .. } => "note",
+                TraceEvent::Collision { .. } => "collision",
+            })
+            .collect();
+        assert_eq!(kinds, vec!["tx", "rx", "deliver", "note"]);
+    }
+
+    #[test]
+    fn run_until_is_monotone_and_idempotent() {
+        let mut sim = SimBuilder::new(SimConfig::default())
+            .with_node(Box::new(Blaster { count: 0 }))
+            .build();
+        sim.run_until(SimTime::from_secs(5));
+        assert_eq!(sim.now(), SimTime::from_secs(5));
+        // Running to an earlier instant is a no-op, not a rewind.
+        sim.run_until(SimTime::from_secs(3));
+        assert_eq!(sim.now(), SimTime::from_secs(5));
+        sim.run_for(SimDuration::from_secs(2));
+        assert_eq!(sim.now(), SimTime::from_secs(7));
+    }
+
+    #[test]
+    fn protocol_downcast_mut_allows_state_injection() {
+        let mut sim = SimBuilder::new(SimConfig::default())
+            .with_node(Box::new(Blaster { count: 0 }))
+            .build();
+        assert_eq!(sim.protocol::<Blaster>(NodeId(0)).unwrap().count(), 0);
+        sim.protocol_mut::<Blaster>(NodeId(0)).unwrap().count = 7;
+        assert_eq!(sim.protocol::<Blaster>(NodeId(0)).unwrap().count(), 7);
+        // Wrong type downcasts to None.
+        struct Other;
+        assert!(sim.protocol::<Other>(NodeId(0)).is_none());
+    }
+
+    #[test]
+    fn background_noise_loses_some_receptions() {
+        #[derive(Clone, Debug)]
+        struct Tick(#[allow(dead_code)] u64);
+        impl Message for Tick {
+            fn wire_size(&self) -> usize {
+                16
+            }
+            fn kind(&self) -> &'static str {
+                "tick"
+            }
+        }
+        struct Chatter;
+        impl Protocol for Chatter {
+            type Msg = Tick;
+            fn on_start(&mut self, ctx: &mut Context<'_, Tick>) {
+                ctx.set_timer_after(SimDuration::from_millis(20), TimerKey(1));
+            }
+            fn on_packet(&mut self, _: &mut Context<'_, Tick>, _: NodeId, _: &Tick) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_, Tick>, _: TimerKey) {
+                ctx.send(Tick(0));
+                ctx.set_timer_after(SimDuration::from_millis(20), TimerKey(1));
+            }
+            fn on_app_broadcast(&mut self, _: &mut Context<'_, Tick>, _: AppPayload) {}
+        }
+        let config = SimConfig {
+            radio: RadioConfig {
+                range_m: 100.0,
+                fading_fraction: 0.0,
+                background_loss: 0.2,
+                ..RadioConfig::default()
+            },
+            ..SimConfig::default()
+        };
+        let mut sim = SimBuilder::new(config)
+            .with_positions(vec![Position::new(0.0, 0.0), Position::new(50.0, 0.0)])
+            .with_node(Box::new(Chatter))
+            .with_node(Box::new(Chatter))
+            .build();
+        sim.run_for(SimDuration::from_secs(20));
+        let m = sim.metrics();
+        assert!(m.noise_losses > 0, "no noise losses at 20% background loss");
+        let total = m.frames_received + m.noise_losses;
+        let loss_rate = m.noise_losses as f64 / total as f64;
+        assert!((loss_rate - 0.2).abs() < 0.05, "loss rate {loss_rate}");
+    }
+
+    #[test]
+    fn distinct_node_streams_do_not_share_randomness() {
+        // Two sims differing only in an extra node must still agree on the
+        // behaviour of the shared nodes' own random draws (fork isolation).
+        let run = |extra: bool| {
+            let mut b = SimBuilder::new(SimConfig {
+                radio: RadioConfig::ideal_disk(10.0), // nobody in range
+                ..SimConfig::default()
+            })
+            .with_positions(if extra {
+                vec![Position::new(0.0, 0.0), Position::new(500.0, 500.0)]
+            } else {
+                vec![Position::new(0.0, 0.0)]
+            })
+            .with_node(Box::new(Blaster { count: 3 }));
+            if extra {
+                b = b.with_node(Box::new(Blaster { count: 3 }));
+            }
+            let mut sim = b.build();
+            sim.run_for(SimDuration::from_secs(1));
+            sim.metrics().per_node[0].frames_sent
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn accessors_expose_configuration() {
+        let config = SimConfig {
+            seed: 99,
+            ..SimConfig::default()
+        };
+        let sim = SimBuilder::new(config)
+            .with_node(Box::new(Blaster { count: 0 }))
+            .build();
+        assert_eq!(sim.config().seed, 99);
+        assert_eq!(sim.node_count(), 1);
+        assert!(sim.radio().config().range_m > 0.0);
+        assert_eq!(sim.positions().len(), 1);
+        assert_eq!(sim.position(NodeId(0)), sim.positions()[0]);
+    }
+}
+
+#[cfg(test)]
+mod capture_engine_tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[derive(Clone, Debug)]
+    struct Flat(u64);
+    impl Message for Flat {
+        fn wire_size(&self) -> usize {
+            64
+        }
+        fn kind(&self) -> &'static str {
+            "flat"
+        }
+    }
+    struct Deliverer {
+        got: HashSet<u64>,
+    }
+    impl Protocol for Deliverer {
+        type Msg = Flat;
+        fn on_packet(&mut self, ctx: &mut Context<'_, Flat>, from: NodeId, msg: &Flat) {
+            if self.got.insert(msg.0) {
+                ctx.deliver(from, msg.0);
+            }
+        }
+        fn on_timer(&mut self, _: &mut Context<'_, Flat>, _: TimerKey) {}
+        fn on_app_broadcast(&mut self, ctx: &mut Context<'_, Flat>, p: AppPayload) {
+            ctx.send(Flat(p.id));
+        }
+    }
+
+    fn collision_setup(capture_ratio: f64) -> Simulator<Flat> {
+        // Receiver at 0; near sender at 40 m; far interferer at 240 m.
+        // Senders are out of range of each other (no carrier sense rescue),
+        // MAC jitter zeroed so they truly overlap.
+        let config = SimConfig {
+            radio: RadioConfig {
+                capture_ratio,
+                ..RadioConfig::ideal_disk(250.0)
+            },
+            mac: MacConfig {
+                slot_us: 0,
+                difs_us: 0,
+                cw_slots: 1,
+                queue_capacity: 8,
+            },
+            field: Field::new(600.0, 100.0),
+            ..SimConfig::default()
+        };
+        let mut sim = SimBuilder::new(config)
+            .with_positions(vec![
+                Position::new(250.0, 50.0), // receiver
+                Position::new(210.0, 50.0), // near sender (40 m, left)
+                Position::new(490.0, 50.0), // far interferer (240 m, right)
+                                            // near ↔ far = 280 m > 250 m: hidden terminals — no carrier
+                                            // sense rescue, their frames genuinely overlap at the
+                                            // receiver.
+            ])
+            .with_nodes(3, |_| {
+                Box::new(Deliverer {
+                    got: HashSet::new(),
+                })
+            })
+            .build();
+        sim.schedule_app_broadcast(SimDuration::from_millis(1), NodeId(1), 1, 64);
+        sim.schedule_app_broadcast(SimDuration::from_millis(1), NodeId(2), 2, 64);
+        sim.run_for(SimDuration::from_millis(100));
+        sim
+    }
+
+    #[test]
+    fn without_capture_the_overlap_destroys_both() {
+        let sim = collision_setup(0.0);
+        assert!(
+            !sim.metrics().deliveries.iter().any(|d| d.node == NodeId(0)),
+            "receiver decoded through a collision with capture disabled"
+        );
+        assert!(sim.metrics().collision_losses >= 1);
+    }
+
+    #[test]
+    fn with_capture_the_near_frame_survives() {
+        let sim = collision_setup(3.0);
+        let got: Vec<u64> = sim
+            .metrics()
+            .deliveries
+            .iter()
+            .filter(|d| d.node == NodeId(0))
+            .map(|d| d.payload_id)
+            .collect();
+        assert_eq!(got, vec![1], "near frame should capture; got {got:?}");
+    }
+}

@@ -1,0 +1,154 @@
+//! The discrete-event queue.
+//!
+//! Events are ordered by time with a monotone sequence number as tie-breaker,
+//! so simultaneous events are processed in insertion order and runs are fully
+//! deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::node::{AppPayload, NodeId, TimerKey};
+use crate::time::SimTime;
+
+/// What happens when an event fires. Interpreted by the engine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// Deliver `on_start` to every node (scheduled once at time zero).
+    StartAll,
+    /// A protocol timer may be due on `node` (stale timers are skipped).
+    Timer {
+        /// The node owning the timer.
+        node: NodeId,
+        /// The protocol-chosen key.
+        key: TimerKey,
+    },
+    /// The workload injects an application broadcast at `node`.
+    AppBroadcast {
+        /// The originating node.
+        node: NodeId,
+        /// The payload being broadcast.
+        payload: AppPayload,
+    },
+    /// `node`'s MAC should re-check the medium and try to transmit.
+    MacAttempt {
+        /// The node with a pending frame.
+        node: NodeId,
+    },
+    /// Transmission `tx_id` finishes; resolve its receptions.
+    TxEnd {
+        /// The engine-assigned transmission id.
+        tx_id: u64,
+    },
+    /// Advance the mobility model by one tick.
+    MobilityTick,
+}
+
+/// A scheduled event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// When the event fires.
+    pub time: SimTime,
+    /// Monotone tie-breaker ensuring deterministic ordering.
+    pub seq: u64,
+    /// What to do.
+    pub kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap and we want earliest-first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A time-ordered event queue with deterministic tie-breaking.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules `kind` at `time`.
+    pub fn push(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time, seq, kind });
+    }
+
+    /// The time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Removes and returns the earliest pending event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(3), EventKind::MobilityTick);
+        q.push(SimTime::from_secs(1), EventKind::StartAll);
+        q.push(SimTime::from_secs(2), EventKind::TxEnd { tx_id: 1 });
+        assert_eq!(q.pop().unwrap().kind, EventKind::StartAll);
+        assert_eq!(q.pop().unwrap().kind, EventKind::TxEnd { tx_id: 1 });
+        assert_eq!(q.pop().unwrap().kind, EventKind::MobilityTick);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn simultaneous_events_keep_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for id in 0..10 {
+            q.push(t, EventKind::TxEnd { tx_id: id });
+        }
+        for id in 0..10 {
+            match q.pop().unwrap().kind {
+                EventKind::TxEnd { tx_id } => assert_eq!(tx_id, id),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn len_and_peek() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_secs(5), EventKind::MobilityTick);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(5)));
+    }
+}

@@ -1,0 +1,152 @@
+//! Planar geometry: node positions and the simulation field.
+
+use crate::rng::SimRng;
+
+/// A position in the plane, in metres.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct Position {
+    /// Horizontal coordinate in metres.
+    pub x: f64,
+    /// Vertical coordinate in metres.
+    pub y: f64,
+}
+
+impl Position {
+    /// Creates a position from coordinates in metres.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Position { x, y }
+    }
+
+    /// Euclidean distance to `other`, in metres.
+    pub fn distance(&self, other: &Position) -> f64 {
+        self.distance_squared(other).sqrt()
+    }
+
+    /// Squared Euclidean distance, for range checks without a sqrt.
+    pub fn distance_squared(&self, other: &Position) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Moves `self` towards `target` by at most `step` metres, without
+    /// overshooting. Returns the new position and whether the target was
+    /// reached.
+    pub fn step_towards(&self, target: &Position, step: f64) -> (Position, bool) {
+        let d = self.distance(target);
+        if d <= step || d == 0.0 {
+            (*target, true)
+        } else {
+            let f = step / d;
+            (
+                Position::new(
+                    self.x + (target.x - self.x) * f,
+                    self.y + (target.y - self.y) * f,
+                ),
+                false,
+            )
+        }
+    }
+}
+
+/// The rectangular simulation area, anchored at the origin.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Field {
+    /// Width in metres.
+    pub width: f64,
+    /// Height in metres.
+    pub height: f64,
+}
+
+impl Field {
+    /// Creates a field of the given dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is non-positive or non-finite.
+    pub fn new(width: f64, height: f64) -> Self {
+        assert!(
+            width > 0.0 && height > 0.0 && width.is_finite() && height.is_finite(),
+            "field dimensions must be positive and finite"
+        );
+        Field { width, height }
+    }
+
+    /// A uniformly random position inside the field.
+    pub fn random_position(&self, rng: &mut SimRng) -> Position {
+        Position::new(rng.gen_f64() * self.width, rng.gen_f64() * self.height)
+    }
+
+    /// Clamps a position to lie inside the field.
+    pub fn clamp(&self, p: Position) -> Position {
+        Position::new(p.x.clamp(0.0, self.width), p.y.clamp(0.0, self.height))
+    }
+
+    /// Whether `p` lies inside (or on the border of) the field.
+    pub fn contains(&self, p: Position) -> bool {
+        (0.0..=self.width).contains(&p.x) && (0.0..=self.height).contains(&p.y)
+    }
+}
+
+impl Default for Field {
+    /// The 1000 m × 1000 m field conventional for 2005-era ad-hoc evaluations.
+    fn default() -> Self {
+        Field::new(1000.0, 1000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances() {
+        let a = Position::new(0.0, 0.0);
+        let b = Position::new(3.0, 4.0);
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(a.distance_squared(&b), 25.0);
+        assert_eq!(a.distance(&a), 0.0);
+    }
+
+    #[test]
+    fn step_towards_moves_and_terminates() {
+        let a = Position::new(0.0, 0.0);
+        let b = Position::new(10.0, 0.0);
+        let (mid, done) = a.step_towards(&b, 4.0);
+        assert!(!done);
+        assert!((mid.x - 4.0).abs() < 1e-9);
+        let (end, done) = mid.step_towards(&b, 100.0);
+        assert!(done);
+        assert_eq!(end, b);
+    }
+
+    #[test]
+    fn step_towards_self_is_done() {
+        let a = Position::new(1.0, 1.0);
+        let (p, done) = a.step_towards(&a, 1.0);
+        assert!(done);
+        assert_eq!(p, a);
+    }
+
+    #[test]
+    fn field_random_positions_are_inside() {
+        let f = Field::new(100.0, 50.0);
+        let mut rng = SimRng::new(1);
+        for _ in 0..200 {
+            assert!(f.contains(f.random_position(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn field_clamp() {
+        let f = Field::new(10.0, 10.0);
+        assert_eq!(f.clamp(Position::new(-5.0, 20.0)), Position::new(0.0, 10.0));
+        assert_eq!(f.clamp(Position::new(5.0, 5.0)), Position::new(5.0, 5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn bad_field_panics() {
+        Field::new(0.0, 10.0);
+    }
+}

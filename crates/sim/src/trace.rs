@@ -1,0 +1,171 @@
+//! Optional structured event tracing for debugging and white-box tests.
+//!
+//! Tracing is off by default and costs one branch per event when disabled.
+//! When enabled, the engine records radio and protocol events into a bounded
+//! ring buffer that tests can inspect.
+
+use std::collections::VecDeque;
+
+use crate::node::NodeId;
+use crate::time::SimTime;
+
+/// A traced event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A node started transmitting a frame.
+    TxStart {
+        /// The transmitting node.
+        node: NodeId,
+        /// Message kind label.
+        kind: &'static str,
+        /// Frame size in bytes.
+        bytes: usize,
+    },
+    /// A frame was successfully received.
+    Rx {
+        /// The receiving node.
+        node: NodeId,
+        /// The transmitting node.
+        from: NodeId,
+        /// Message kind label.
+        kind: &'static str,
+    },
+    /// A reception was destroyed by a collision.
+    Collision {
+        /// The receiver that lost the frame.
+        node: NodeId,
+        /// The transmitter whose frame was lost.
+        from: NodeId,
+    },
+    /// A protocol emitted a free-form note via [`crate::Context::note`].
+    Note {
+        /// The node that emitted the note.
+        node: NodeId,
+        /// The note text.
+        text: String,
+    },
+    /// An application-level delivery.
+    Deliver {
+        /// The accepting node.
+        node: NodeId,
+        /// Claimed originator.
+        origin: NodeId,
+        /// Payload id.
+        payload_id: u64,
+    },
+}
+
+/// A timestamped trace entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// When the event happened.
+    pub time: SimTime,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+/// A bounded trace buffer.
+#[derive(Debug)]
+pub struct Trace {
+    enabled: bool,
+    capacity: usize,
+    entries: VecDeque<TraceEntry>,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Creates a disabled trace.
+    pub fn disabled() -> Self {
+        Trace {
+            enabled: false,
+            capacity: 0,
+            entries: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Creates an enabled trace keeping the most recent `capacity` entries.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Trace {
+            enabled: true,
+            capacity,
+            entries: VecDeque::with_capacity(capacity.min(4096)),
+            dropped: 0,
+        }
+    }
+
+    /// Whether tracing is on.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records `event` at `time` if enabled.
+    pub fn record(&mut self, time: SimTime, event: TraceEvent) {
+        if !self.enabled {
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(TraceEntry { time, event });
+    }
+
+    /// The retained entries, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// How many entries were evicted by the ring buffer.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries are retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        t.record(
+            SimTime::ZERO,
+            TraceEvent::Note {
+                node: NodeId(0),
+                text: "x".into(),
+            },
+        );
+        assert!(t.is_empty());
+        assert!(!t.enabled());
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut t = Trace::with_capacity(2);
+        for i in 0..4u64 {
+            t.record(
+                SimTime::from_micros(i),
+                TraceEvent::Deliver {
+                    node: NodeId(0),
+                    origin: NodeId(1),
+                    payload_id: i,
+                },
+            );
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 2);
+        let times: Vec<u64> = t.entries().map(|e| e.time.as_micros()).collect();
+        assert_eq!(times, vec![2, 3]);
+    }
+}

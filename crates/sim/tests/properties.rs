@@ -1,0 +1,131 @@
+//! Property-based tests for the simulator's foundations: the PRNG, time
+//! arithmetic, geometry, the radio model and the event queue.
+
+use proptest::prelude::*;
+
+use byzcast_sim::event::{EventKind, EventQueue};
+use byzcast_sim::{Field, Position, RadioConfig, RadioModel, SimDuration, SimRng, SimTime};
+
+proptest! {
+    #[test]
+    fn rng_streams_are_seed_deterministic(seed in any::<u64>()) {
+        let mut a = SimRng::new(seed);
+        let mut b = SimRng::new(seed);
+        for _ in 0..64 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn rng_gen_range_stays_in_bounds(seed in any::<u64>(), lo in 0u64..1000, span in 1u64..1000) {
+        let mut rng = SimRng::new(seed);
+        for _ in 0..32 {
+            let v = rng.gen_range(lo, lo + span);
+            prop_assert!(v >= lo && v < lo + span);
+        }
+    }
+
+    #[test]
+    fn forked_streams_never_mirror_the_parent(seed in any::<u64>()) {
+        let mut parent = SimRng::new(seed);
+        let mut child = parent.fork(1);
+        let same = (0..64)
+            .filter(|_| parent.next_u64() == child.next_u64())
+            .count();
+        prop_assert!(same < 4, "parent and child streams look identical");
+    }
+
+    #[test]
+    fn time_addition_is_monotone(base in 0u64..u64::MAX / 4, d1 in 0u64..1_000_000, d2 in 0u64..1_000_000) {
+        let t = SimTime::from_micros(base);
+        let a = t + SimDuration::from_micros(d1);
+        let b = a + SimDuration::from_micros(d2);
+        prop_assert!(a >= t);
+        prop_assert!(b >= a);
+        prop_assert_eq!(b.saturating_since(t), SimDuration::from_micros(d1 + d2));
+    }
+
+    #[test]
+    fn saturating_since_never_underflows(a in any::<u64>(), b in any::<u64>()) {
+        let ta = SimTime::from_micros(a);
+        let tb = SimTime::from_micros(b);
+        let d = ta.saturating_since(tb);
+        if a >= b {
+            prop_assert_eq!(d.as_micros(), a - b);
+        } else {
+            prop_assert_eq!(d, SimDuration::ZERO);
+        }
+    }
+
+    #[test]
+    fn step_towards_never_overshoots(
+        ax in 0.0f64..1000.0, ay in 0.0f64..1000.0,
+        bx in 0.0f64..1000.0, by in 0.0f64..1000.0,
+        step in 0.01f64..500.0,
+    ) {
+        let a = Position::new(ax, ay);
+        let b = Position::new(bx, by);
+        let d0 = a.distance(&b);
+        let (next, reached) = a.step_towards(&b, step);
+        let d1 = next.distance(&b);
+        prop_assert!(d1 <= d0 + 1e-9, "moved away: {d0} -> {d1}");
+        if reached {
+            prop_assert!(d1 < 1e-9);
+        } else {
+            // Moved exactly `step` (within float tolerance).
+            prop_assert!((a.distance(&next) - step).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn random_positions_are_inside_any_field(
+        seed in any::<u64>(),
+        w in 1.0f64..10_000.0,
+        h in 1.0f64..10_000.0,
+    ) {
+        let f = Field::new(w, h);
+        let mut rng = SimRng::new(seed);
+        for _ in 0..16 {
+            prop_assert!(f.contains(f.random_position(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn link_probability_is_monotone_in_distance(
+        range in 50.0f64..500.0,
+        fade in 0.0f64..0.5,
+        d1 in 0.0f64..1000.0,
+        d2 in 0.0f64..1000.0,
+    ) {
+        let model = RadioModel::new(RadioConfig {
+            range_m: range,
+            fading_fraction: fade,
+            ..RadioConfig::default()
+        });
+        let o = Position::new(0.0, 0.0);
+        let (near, far) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        let p_near = model.link_success_probability(&o, &Position::new(near, 0.0));
+        let p_far = model.link_success_probability(&o, &Position::new(far, 0.0));
+        prop_assert!(p_near + 1e-12 >= p_far, "p({near})={p_near} < p({far})={p_far}");
+        prop_assert!((0.0..=1.0).contains(&p_near));
+    }
+
+    #[test]
+    fn air_time_is_monotone_in_size(bytes in 0usize..10_000, extra in 1usize..1000) {
+        let c = RadioConfig::default();
+        prop_assert!(c.air_time_us(bytes + extra) >= c.air_time_us(bytes));
+    }
+
+    #[test]
+    fn event_queue_pops_in_nondecreasing_time_order(times in proptest::collection::vec(0u64..1_000_000, 1..64)) {
+        let mut q = EventQueue::new();
+        for &t in &times {
+            q.push(SimTime::from_micros(t), EventKind::MobilityTick);
+        }
+        let mut last = SimTime::ZERO;
+        while let Some(e) = q.pop() {
+            prop_assert!(e.time >= last);
+            last = e.time;
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! # byzcast — Byzantine-tolerant broadcast for wireless ad-hoc networks
+//!
+//! Umbrella crate re-exporting the full public API of the reproduction of
+//! *"Efficient Byzantine Broadcast in Wireless Ad-Hoc Networks"* (Drabkin,
+//! Friedman & Segal, DSN 2005). See `DESIGN.md` for the system inventory and
+//! `EXPERIMENTS.md` for the experiment index.
+
+pub use byzcast_adversary as adversary;
+pub use byzcast_baselines as baselines;
+pub use byzcast_core as core;
+pub use byzcast_crypto as crypto;
+pub use byzcast_fd as fd;
+pub use byzcast_harness as harness;
+pub use byzcast_overlay as overlay;
+pub use byzcast_sim as sim;

@@ -1,0 +1,109 @@
+//! Integration tests for the §3.5 analysis: dissemination-time bounds
+//! (Theorem 3.4 and the static `n/2` worst case) and the buffer bound.
+
+use byzcast::harness::{byz_view, figure5_worst_case, ScenarioConfig, Workload};
+use byzcast::sim::{NodeId, SimDuration, SimTime};
+
+/// The paper's Figure-5 worst case (see `figure5_worst_case`): the overlay
+/// is mutes-only, so dissemination runs on the gossip-request chain.
+/// `correct` is the number of correct nodes; total n = 2·correct − 1.
+fn figure5(correct: usize) -> (ScenarioConfig, Workload) {
+    let config = figure5_worst_case(correct, 1);
+    let workload = Workload {
+        senders: vec![NodeId(0)],
+        count: 6,
+        payload_bytes: 256,
+        start: SimDuration::from_secs(8),
+        interval: SimDuration::from_secs(2),
+        drain: SimDuration::from_secs(90),
+    };
+    (config, workload)
+}
+
+#[test]
+fn bound_theorem_3_4_mobile_form() {
+    // Theorem 3.4: all correct nodes receive m within max_timeout · (n − 1).
+    let (config, workload) = figure5(9);
+    let summary = config.run(&workload);
+    assert_eq!(summary.delivery_ratio, 1.0, "worst case must still deliver");
+    let beta = SimDuration::from_micros(config.sim.radio.air_time_us(2700));
+    let bound = config
+        .byzcast
+        .max_timeout(beta)
+        .saturating_mul(config.n as u64 - 1)
+        .as_secs_f64();
+    assert!(
+        summary.max_latency_s <= bound,
+        "max latency {} exceeds Theorem 3.4 bound {}",
+        summary.max_latency_s,
+        bound
+    );
+}
+
+#[test]
+fn bound_static_worst_case_n_over_2() {
+    // §3.5: in a static network the Figure-5 chain costs at most
+    // max_timeout · n/2 (one Byzantine overlay node + one correct node per
+    // hop).
+    let (config, workload) = figure5(11);
+    let summary = config.run(&workload);
+    assert_eq!(summary.delivery_ratio, 1.0);
+    let beta = SimDuration::from_micros(config.sim.radio.air_time_us(2700));
+    let bound = config
+        .byzcast
+        .max_timeout(beta)
+        .saturating_mul(config.n as u64 / 2)
+        .as_secs_f64();
+    assert!(
+        summary.max_latency_s <= bound,
+        "max latency {} exceeds static bound {}",
+        summary.max_latency_s,
+        bound
+    );
+}
+
+#[test]
+fn buffer_bound_holds() {
+    // §3.5: in a mobile network every node needs at most
+    // max_timeout · (n − 1) · δ buffered messages; the static requirement is
+    // only max_timeout · δ. The measured high-water mark must stay within
+    // the mobile (loose) bound — and our purge keeps it near the workload's
+    // in-flight size.
+    let (config, workload) = figure5(7);
+    let mut sim = config.build_wire_sim();
+    for (at, sender, payload_id, size) in workload.schedule() {
+        sim.schedule_app_broadcast(at, sender, payload_id, size);
+    }
+    sim.run_until(SimTime::ZERO + workload.horizon());
+    let beta = SimDuration::from_micros(config.sim.radio.air_time_us(2700));
+    let max_timeout = config.byzcast.max_timeout(beta).as_secs_f64();
+    let bound = (max_timeout * (config.n as f64 - 1.0) * workload.delta()).ceil() as usize;
+    for i in 0..config.n as u32 {
+        if let Some(node) = byz_view(&sim, NodeId(i)) {
+            let hw = node.store().high_water();
+            assert!(
+                hw <= bound.max(workload.count),
+                "node {i} buffered {hw} > bound {bound}"
+            );
+        }
+    }
+}
+
+#[test]
+fn dissemination_time_scales_linearly_not_worse() {
+    // Sanity on the bound's *shape*: doubling the chain roughly doubles the
+    // worst-case latency, it does not square it.
+    let (c1, w) = figure5(6);
+    let (c2, _) = figure5(11);
+    let s1 = c1.run(&w);
+    let s2 = c2.run(&w);
+    assert_eq!(s1.delivery_ratio, 1.0);
+    assert_eq!(s2.delivery_ratio, 1.0);
+    // Latency grows with chain length, within a generous linear envelope.
+    assert!(
+        s2.max_latency_s <= (s1.max_latency_s + 1e-3) * 8.0,
+        "latency blow-up: {} -> {}",
+        s1.max_latency_s,
+        s2.max_latency_s
+    );
+}
