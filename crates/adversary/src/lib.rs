@@ -102,7 +102,7 @@ mod tests {
                 emit(&mut ctx, a);
             }
         }
-        drop(ctx);
+        let _ = ctx;
         assert_eq!(outer.len(), 1);
         assert!(matches!(outer[0], Action::Deliver { .. }));
     }

@@ -160,17 +160,13 @@ pub fn plan_overlays(adj: &[Vec<NodeId>], k: u8, seed: u64) -> Vec<Vec<bool>> {
         let mut parent: Vec<Option<usize>> = vec![None; n];
         let mut roots: Vec<usize> = Vec::new();
         // One spanning tree per connected component (disconnected graphs
-        // must still have every component covered).
-        loop {
-            // Root: an unvisited node, preferring unused ones with maximal
-            // degree so earlier overlays' relays stay out of this one.
-            let root = match (0..n)
-                .filter(|&i| !visited[i])
-                .max_by_key(|&i| (!used[i], adj[i].len(), usize::MAX - i))
-            {
-                Some(r) => r,
-                None => break,
-            };
+        // must still have every component covered). Root choice: an
+        // unvisited node, preferring unused ones with maximal degree so
+        // earlier overlays' relays stay out of this one.
+        while let Some(root) = (0..n)
+            .filter(|&i| !visited[i])
+            .max_by_key(|&i| (!used[i], adj[i].len(), usize::MAX - i))
+        {
             roots.push(root);
             visited[root] = true;
             // Two-tier BFS frontier: unused nodes expand first, so they
@@ -194,10 +190,8 @@ pub fn plan_overlays(adj: &[Vec<NodeId>], k: u8, seed: u64) -> Vec<Vec<bool>> {
         }
         // Internal nodes of the trees = nodes that are some node's parent.
         let mut internal = vec![false; n];
-        for v in 0..n {
-            if let Some(p) = parent[v] {
-                internal[p] = true;
-            }
+        for &p in parent.iter().flatten() {
+            internal[p] = true;
         }
         // A component root with no children (isolated node) relays itself.
         for root in roots {
@@ -205,9 +199,9 @@ pub fn plan_overlays(adj: &[Vec<NodeId>], k: u8, seed: u64) -> Vec<Vec<bool>> {
                 internal[root] = true;
             }
         }
-        for v in 0..n {
+        for (v, row) in memberships.iter_mut().enumerate() {
             if internal[v] {
-                memberships[v][overlay] = true;
+                row[overlay] = true;
                 used[v] = true;
             }
         }

@@ -6,8 +6,8 @@
 //! every message has to be sent f + 1 times even if in practice none of the
 //! devices suffered from a Byzantine fault" (§1).
 
-use byzcast_bench::{banner, default_scenario, default_workload, n_sweep, opts, seeds};
-use byzcast_harness::{aggregate, replicate, report::fnum, ProtocolChoice, Table};
+use byzcast_bench::{banner, default_scenario, default_workload, n_sweep, opts, runner};
+use byzcast_harness::{report::fnum, run_sweep, ProtocolChoice, SweepPoint, Table};
 use byzcast_overlay::OverlayKind;
 
 fn main() {
@@ -17,7 +17,49 @@ fn main() {
         "message overhead vs n (failure-free)",
         "paper §1 (overlay vs flooding vs f+1 overlays), §4 comparison set",
     );
-    let workload = default_workload(opts);
+    let workload = default_workload(&opts);
+    let protocols: Vec<(ProtocolChoice, OverlayKind, &str)> = vec![
+        (ProtocolChoice::Byzcast, OverlayKind::Cds, "byzcast/cds"),
+        (
+            ProtocolChoice::Byzcast,
+            OverlayKind::MisBridges,
+            "byzcast/mis+b",
+        ),
+        (ProtocolChoice::Flooding, OverlayKind::Cds, "flooding"),
+        (
+            ProtocolChoice::MultiOverlay { f: 1 },
+            OverlayKind::Cds,
+            "2-overlays",
+        ),
+        (
+            ProtocolChoice::MultiOverlay { f: 2 },
+            OverlayKind::Cds,
+            "3-overlays",
+        ),
+    ];
+
+    let mut ns = Vec::new();
+    let mut points = Vec::new();
+    for n in n_sweep(&opts) {
+        let base = default_scenario(n, 0);
+        for (protocol, overlay, label) in &protocols {
+            let mut config = base.clone();
+            config.protocol = protocol.clone();
+            config.byzcast.overlay = *overlay;
+            ns.push(n);
+            points.push(SweepPoint::new(
+                format!("n={n}/{label}"),
+                vec![
+                    ("n".to_owned(), n.to_string()),
+                    ("protocol".to_owned(), (*label).to_owned()),
+                ],
+                config,
+                workload.clone(),
+            ));
+        }
+    }
+
+    let results = run_sweep(&runner(&opts, "r1_overhead"), &points);
     let mut table = Table::new([
         "n",
         "protocol",
@@ -28,43 +70,18 @@ fn main() {
         "frames/delivery",
         "delivery",
     ]);
-    for n in n_sweep(opts) {
-        let base = default_scenario(n, 0);
-        let protocols: Vec<(ProtocolChoice, OverlayKind, &str)> = vec![
-            (ProtocolChoice::Byzcast, OverlayKind::Cds, "byzcast/cds"),
-            (
-                ProtocolChoice::Byzcast,
-                OverlayKind::MisBridges,
-                "byzcast/mis+b",
-            ),
-            (ProtocolChoice::Flooding, OverlayKind::Cds, "flooding"),
-            (
-                ProtocolChoice::MultiOverlay { f: 1 },
-                OverlayKind::Cds,
-                "2-overlays",
-            ),
-            (
-                ProtocolChoice::MultiOverlay { f: 2 },
-                OverlayKind::Cds,
-                "3-overlays",
-            ),
-        ];
-        for (protocol, overlay, _label) in protocols {
-            let mut config = base.clone();
-            config.protocol = protocol;
-            config.byzcast.overlay = overlay;
-            let agg = aggregate(&replicate(&config, &workload, &seeds(opts)));
-            table.add_row([
-                n.to_string(),
-                agg.protocol.clone(),
-                agg.frames_sent.to_string(),
-                fnum(agg.bytes_sent as f64 / 1024.0),
-                agg.data_frames.to_string(),
-                agg.control_frames.to_string(),
-                fnum(agg.frames_per_delivery),
-                fnum(agg.delivery_ratio),
-            ]);
-        }
+    for (n, result) in ns.iter().zip(&results) {
+        let agg = &result.aggregate;
+        table.add_row([
+            n.to_string(),
+            agg.protocol.clone(),
+            agg.frames_sent.to_string(),
+            fnum(agg.bytes_sent as f64 / 1024.0),
+            agg.data_frames.to_string(),
+            agg.control_frames.to_string(),
+            fnum(agg.frames_per_delivery),
+            fnum(agg.delivery_ratio),
+        ]);
     }
     print!("{table}");
 }

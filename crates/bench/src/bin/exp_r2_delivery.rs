@@ -5,8 +5,8 @@
 //! close each protocol gets on the shared topology sweep, including the
 //! worst per-message ratio.
 
-use byzcast_bench::{banner, default_scenario, default_workload, n_sweep, opts, seeds};
-use byzcast_harness::{aggregate, replicate, report::fnum, ProtocolChoice, Table};
+use byzcast_bench::{banner, default_scenario, default_workload, n_sweep, opts, runner};
+use byzcast_harness::{report::fnum, run_sweep, ProtocolChoice, SweepPoint, Table};
 use byzcast_overlay::OverlayKind;
 
 fn main() {
@@ -16,29 +16,47 @@ fn main() {
         "delivery ratio vs n (failure-free)",
         "paper §2.3 eventual dissemination; §4 failure-free runs",
     );
-    let workload = default_workload(opts);
-    let mut table = Table::new(["n", "protocol", "delivery", "min-delivery", "collisions"]);
-    for n in n_sweep(opts) {
+    let workload = default_workload(&opts);
+    let protocols: Vec<(ProtocolChoice, OverlayKind)> = vec![
+        (ProtocolChoice::Byzcast, OverlayKind::Cds),
+        (ProtocolChoice::Byzcast, OverlayKind::MisBridges),
+        (ProtocolChoice::Flooding, OverlayKind::Cds),
+        (ProtocolChoice::MultiOverlay { f: 1 }, OverlayKind::Cds),
+    ];
+
+    let mut ns = Vec::new();
+    let mut points = Vec::new();
+    for n in n_sweep(&opts) {
         let base = default_scenario(n, 0);
-        let protocols: Vec<(ProtocolChoice, OverlayKind)> = vec![
-            (ProtocolChoice::Byzcast, OverlayKind::Cds),
-            (ProtocolChoice::Byzcast, OverlayKind::MisBridges),
-            (ProtocolChoice::Flooding, OverlayKind::Cds),
-            (ProtocolChoice::MultiOverlay { f: 1 }, OverlayKind::Cds),
-        ];
-        for (protocol, overlay) in protocols {
+        for (protocol, overlay) in &protocols {
             let mut config = base.clone();
-            config.protocol = protocol;
-            config.byzcast.overlay = overlay;
-            let agg = aggregate(&replicate(&config, &workload, &seeds(opts)));
-            table.add_row([
-                n.to_string(),
-                agg.protocol.clone(),
-                fnum(agg.delivery_ratio),
-                fnum(agg.min_delivery_ratio),
-                agg.collisions.to_string(),
-            ]);
+            config.protocol = protocol.clone();
+            config.byzcast.overlay = *overlay;
+            let label = config.protocol_label();
+            ns.push(n);
+            points.push(SweepPoint::new(
+                format!("n={n}/{label}"),
+                vec![
+                    ("n".to_owned(), n.to_string()),
+                    ("protocol".to_owned(), label),
+                ],
+                config,
+                workload.clone(),
+            ));
         }
+    }
+
+    let results = run_sweep(&runner(&opts, "r2_delivery"), &points);
+    let mut table = Table::new(["n", "protocol", "delivery", "min-delivery", "collisions"]);
+    for (n, result) in ns.iter().zip(&results) {
+        let agg = &result.aggregate;
+        table.add_row([
+            n.to_string(),
+            agg.protocol.clone(),
+            fnum(agg.delivery_ratio),
+            fnum(agg.min_delivery_ratio),
+            agg.collisions.to_string(),
+        ]);
     }
     print!("{table}");
 }

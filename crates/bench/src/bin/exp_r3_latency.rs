@@ -3,10 +3,11 @@
 //! Overlay dissemination is the fast path ("dissemination along overlay
 //! nodes is fast, since it need not wait for the periodic gossip mechanism",
 //! §3.4.1); latency tails reveal how often the gossip/recovery slow path is
-//! exercised.
+//! exercised. Percentiles are pooled over every delivery of every
+//! replication (see `byzcast_harness::sweep::aggregate`).
 
-use byzcast_bench::{banner, default_scenario, default_workload, n_sweep, opts, seeds};
-use byzcast_harness::{aggregate, replicate, report::fnum, ProtocolChoice, Table};
+use byzcast_bench::{banner, default_scenario, default_workload, n_sweep, opts, runner};
+use byzcast_harness::{report::fnum, run_sweep, ProtocolChoice, SweepPoint, Table};
 use byzcast_overlay::OverlayKind;
 
 fn main() {
@@ -16,29 +17,47 @@ fn main() {
         "accept latency vs n (failure-free)",
         "paper §3.4.1 fast dissemination; §3.5 dissemination-time analysis",
     );
-    let workload = default_workload(opts);
-    let mut table = Table::new(["n", "protocol", "mean (s)", "p99 (s)", "max (s)"]);
-    for n in n_sweep(opts) {
+    let workload = default_workload(&opts);
+    let protocols: Vec<(ProtocolChoice, OverlayKind)> = vec![
+        (ProtocolChoice::Byzcast, OverlayKind::Cds),
+        (ProtocolChoice::Byzcast, OverlayKind::MisBridges),
+        (ProtocolChoice::Flooding, OverlayKind::Cds),
+        (ProtocolChoice::MultiOverlay { f: 1 }, OverlayKind::Cds),
+    ];
+
+    let mut ns = Vec::new();
+    let mut points = Vec::new();
+    for n in n_sweep(&opts) {
         let base = default_scenario(n, 0);
-        let protocols: Vec<(ProtocolChoice, OverlayKind)> = vec![
-            (ProtocolChoice::Byzcast, OverlayKind::Cds),
-            (ProtocolChoice::Byzcast, OverlayKind::MisBridges),
-            (ProtocolChoice::Flooding, OverlayKind::Cds),
-            (ProtocolChoice::MultiOverlay { f: 1 }, OverlayKind::Cds),
-        ];
-        for (protocol, overlay) in protocols {
+        for (protocol, overlay) in &protocols {
             let mut config = base.clone();
-            config.protocol = protocol;
-            config.byzcast.overlay = overlay;
-            let agg = aggregate(&replicate(&config, &workload, &seeds(opts)));
-            table.add_row([
-                n.to_string(),
-                agg.protocol.clone(),
-                fnum(agg.mean_latency_s),
-                fnum(agg.p99_latency_s),
-                fnum(agg.max_latency_s),
-            ]);
+            config.protocol = protocol.clone();
+            config.byzcast.overlay = *overlay;
+            let label = config.protocol_label();
+            ns.push(n);
+            points.push(SweepPoint::new(
+                format!("n={n}/{label}"),
+                vec![
+                    ("n".to_owned(), n.to_string()),
+                    ("protocol".to_owned(), label),
+                ],
+                config,
+                workload.clone(),
+            ));
         }
+    }
+
+    let results = run_sweep(&runner(&opts, "r3_latency"), &points);
+    let mut table = Table::new(["n", "protocol", "mean (s)", "p99 (s)", "max (s)"]);
+    for (n, result) in ns.iter().zip(&results) {
+        let agg = &result.aggregate;
+        table.add_row([
+            n.to_string(),
+            agg.protocol.clone(),
+            fnum(agg.mean_latency_s),
+            fnum(agg.p99_latency_s),
+            fnum(agg.max_latency_s),
+        ]);
     }
     print!("{table}");
 }

@@ -10,8 +10,8 @@
 //! simply go silent.
 
 use byzcast_adversary::MutePolicy;
-use byzcast_bench::{banner, default_scenario, default_workload, opts, seeds};
-use byzcast_harness::{aggregate, replicate, report::fnum, AdversaryKind, ProtocolChoice, Table};
+use byzcast_bench::{banner, default_scenario, default_workload, opts, runner};
+use byzcast_harness::{report::fnum, run_sweep, AdversaryKind, ProtocolChoice, SweepPoint, Table};
 use byzcast_overlay::OverlayKind;
 
 fn main() {
@@ -22,12 +22,47 @@ fn main() {
         "paper §1/§4: runs where some nodes experience mute failures",
     );
     let n = 100;
-    let workload = default_workload(opts);
+    let workload = default_workload(&opts);
     let fractions: &[f64] = if opts.quick {
         &[0.0, 0.2]
     } else {
         &[0.0, 0.1, 0.2, 0.3, 0.4]
     };
+    let protocols: Vec<(ProtocolChoice, OverlayKind)> = vec![
+        (ProtocolChoice::Byzcast, OverlayKind::Cds),
+        (ProtocolChoice::Byzcast, OverlayKind::MisBridges),
+        (ProtocolChoice::Flooding, OverlayKind::Cds),
+        (ProtocolChoice::MultiOverlay { f: 1 }, OverlayKind::Cds),
+    ];
+
+    let mut fracs = Vec::new();
+    let mut points = Vec::new();
+    for &frac in fractions {
+        let count = (n as f64 * frac).round() as usize;
+        let base = default_scenario(n, 0);
+        for (protocol, overlay) in &protocols {
+            let mut config = base.clone();
+            config.protocol = protocol.clone();
+            config.byzcast.overlay = *overlay;
+            if count > 0 {
+                config.adversary = Some(AdversaryKind::Mute(MutePolicy::DropData));
+                config.adversary_count = count;
+            }
+            let label = config.protocol_label();
+            fracs.push(frac);
+            points.push(SweepPoint::new(
+                format!("mute={:.0}%/{label}", frac * 100.0),
+                vec![
+                    ("mute_fraction".to_owned(), format!("{frac}")),
+                    ("protocol".to_owned(), label),
+                ],
+                config,
+                workload.clone(),
+            ));
+        }
+    }
+
+    let results = run_sweep(&runner(&opts, "r4_mute"), &points);
     let mut table = Table::new([
         "mute%",
         "protocol",
@@ -38,35 +73,18 @@ fn main() {
         "served",
         "suspicions(T/F)",
     ]);
-    for &frac in fractions {
-        let count = (n as f64 * frac).round() as usize;
-        let base = default_scenario(n, 0);
-        let protocols: Vec<(ProtocolChoice, OverlayKind)> = vec![
-            (ProtocolChoice::Byzcast, OverlayKind::Cds),
-            (ProtocolChoice::Byzcast, OverlayKind::MisBridges),
-            (ProtocolChoice::Flooding, OverlayKind::Cds),
-            (ProtocolChoice::MultiOverlay { f: 1 }, OverlayKind::Cds),
-        ];
-        for (protocol, overlay) in protocols {
-            let mut config = base.clone();
-            config.protocol = protocol;
-            config.byzcast.overlay = overlay;
-            if count > 0 {
-                config.adversary = Some(AdversaryKind::Mute(MutePolicy::DropData));
-                config.adversary_count = count;
-            }
-            let agg = aggregate(&replicate(&config, &workload, &seeds(opts)));
-            table.add_row([
-                format!("{:.0}", frac * 100.0),
-                agg.protocol.clone(),
-                fnum(agg.delivery_ratio),
-                fnum(agg.min_delivery_ratio),
-                fnum(agg.p99_latency_s),
-                agg.requests.to_string(),
-                agg.recoveries_served.to_string(),
-                format!("{}/{}", agg.true_suspicions, agg.false_suspicions),
-            ]);
-        }
+    for (frac, result) in fracs.iter().zip(&results) {
+        let agg = &result.aggregate;
+        table.add_row([
+            format!("{:.0}", frac * 100.0),
+            agg.protocol.clone(),
+            fnum(agg.delivery_ratio),
+            fnum(agg.min_delivery_ratio),
+            fnum(agg.p99_latency_s),
+            agg.requests.to_string(),
+            agg.recoveries_served.to_string(),
+            format!("{}/{}", agg.true_suspicions, agg.false_suspicions),
+        ]);
     }
     print!("{table}");
 }

@@ -89,6 +89,22 @@ pub struct ProtocolCounters {
     pub beacons_sent: u64,
 }
 
+impl ProtocolCounters {
+    /// Adds `other` field-wise — used to total counters across nodes.
+    pub fn merge(&mut self, other: &ProtocolCounters) {
+        self.data_originated += other.data_originated;
+        self.data_forwards += other.data_forwards;
+        self.gossip_packets += other.gossip_packets;
+        self.gossip_entries += other.gossip_entries;
+        self.requests_sent += other.requests_sent;
+        self.finds_sent += other.finds_sent;
+        self.recoveries_served += other.recoveries_served;
+        self.recovered_via_request += other.recovered_via_request;
+        self.bad_signatures_seen += other.bad_signatures_seen;
+        self.beacons_sent += other.beacons_sent;
+    }
+}
+
 /// Adapts the TRUST failure detector to the overlay's [`TrustView`] at a
 /// fixed instant.
 struct TrustAt<'a> {
@@ -355,10 +371,7 @@ impl ByzcastNode {
 
         // Lines 12–18: overlay nodes forward; non-overlay nodes forward only
         // TTL-2 recovery responses (one extra hop).
-        if self.role.is_active() {
-            ctx.send(WireMsg::Data(m.with_ttl(1)));
-            self.counters.data_forwards += 1;
-        } else if m.ttl == 2 {
+        if self.role.is_active() || m.ttl == 2 {
             ctx.send(WireMsg::Data(m.with_ttl(1)));
             self.counters.data_forwards += 1;
         }
@@ -1573,7 +1586,7 @@ mod tests {
             h.drive(now, |n, ctx| {
                 n.on_packet(ctx, NodeId(5), &WireMsg::Gossip(g))
             });
-            now = now + SimDuration::from_secs(1);
+            now += SimDuration::from_secs(1);
             h.drive(now, |n, ctx| n.flush_requests(ctx));
             let _ = round;
         }

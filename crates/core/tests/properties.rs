@@ -11,6 +11,50 @@ fn msg(reg: &KeyRegistry<SimScheme>, origin: u32, seq: u64, len: u32) -> DataMsg
     DataMsg::sign(&reg.signer(SignerId(origin)), seq, seq, len)
 }
 
+fn store_invariants_case(ops: &[(u8, u64, u64)]) -> Result<(), TestCaseError> {
+    let hold = SimDuration::from_secs(10);
+    let reg: KeyRegistry<SimScheme> = KeyRegistry::generate(5, 4);
+    let mut store = MessageStore::new(hold);
+    let mut clock = SimTime::ZERO;
+    // seq → when it was last accepted as new. Re-acceptance is only
+    // legitimate once the seen-window (4 × hold) has fully expired.
+    let mut last_new: std::collections::BTreeMap<u64, SimTime> = Default::default();
+    for &(op, seq, dt) in ops {
+        clock += SimDuration::from_secs(dt);
+        match op {
+            0 | 1 => {
+                let m = msg(&reg, 0, seq, 64);
+                let newly = store.insert(clock, m);
+                if newly {
+                    if let Some(&prev) = last_new.get(&seq) {
+                        prop_assert!(
+                            clock.saturating_since(prev) > hold.saturating_mul(4),
+                            "id {seq} re-accepted inside the dedup window"
+                        );
+                    }
+                    last_new.insert(seq, clock);
+                }
+                prop_assert!(store.seen(m.id));
+            }
+            _ => store.purge(clock),
+        }
+        prop_assert!(store.len() <= store.high_water());
+        for id in store.ids() {
+            prop_assert!(store.seen(id), "{id:?} held but not seen");
+        }
+    }
+    Ok(())
+}
+
+/// The shrunk schedule recorded in `properties.proptest-regressions`:
+/// insert seq 26, insert seq 0 at t+20, purge at t+41, re-insert seq 26.
+/// The re-insert lands right at the seen-window boundary (41 s vs the
+/// 4×10 s window), so it pins the off-by-one behaviour of the dedup map.
+#[test]
+fn regression_store_reinsert_at_seen_window_boundary() {
+    store_invariants_case(&[(0, 26, 0), (0, 0, 20), (2, 0, 21), (0, 26, 0)]).unwrap();
+}
+
 proptest! {
     /// Store invariants across arbitrary insert/purge schedules:
     /// * an id is `has` only if `seen`;
@@ -20,37 +64,7 @@ proptest! {
     fn store_invariants_hold_under_any_schedule(
         ops in proptest::collection::vec((0u8..3, 0u64..30, 0u64..60), 1..80),
     ) {
-        let hold = SimDuration::from_secs(10);
-        let reg: KeyRegistry<SimScheme> = KeyRegistry::generate(5, 4);
-        let mut store = MessageStore::new(hold);
-        let mut clock = SimTime::ZERO;
-        // seq → when it was last accepted as new. Re-acceptance is only
-        // legitimate once the seen-window (4 × hold) has fully expired.
-        let mut last_new: std::collections::BTreeMap<u64, SimTime> = Default::default();
-        for (op, seq, dt) in ops {
-            clock = clock + SimDuration::from_secs(dt);
-            match op {
-                0 | 1 => {
-                    let m = msg(&reg, 0, seq, 64);
-                    let newly = store.insert(clock, m);
-                    if newly {
-                        if let Some(&prev) = last_new.get(&seq) {
-                            prop_assert!(
-                                clock.saturating_since(prev) > hold.saturating_mul(4),
-                                "id {seq} re-accepted inside the dedup window"
-                            );
-                        }
-                        last_new.insert(seq, clock);
-                    }
-                    prop_assert!(store.seen(m.id));
-                }
-                _ => store.purge(clock),
-            }
-            prop_assert!(store.len() <= store.high_water());
-            for id in store.ids() {
-                prop_assert!(store.seen(id), "{id:?} held but not seen");
-            }
-        }
+        store_invariants_case(&ops)?;
     }
 
     /// Wire sizes: a gossip packet is always smaller than the data messages

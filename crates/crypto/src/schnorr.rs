@@ -199,13 +199,13 @@ mod tests {
                 return false;
             }
             for sp in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
-                if n % sp == 0 {
+                if n.is_multiple_of(sp) {
                     return n == sp;
                 }
             }
             let mut d = n - 1;
             let mut r = 0;
-            while d % 2 == 0 {
+            while d.is_multiple_of(2) {
                 d /= 2;
                 r += 1;
             }

@@ -107,7 +107,7 @@ impl Sha256 {
             120 - self.buffer_len
         };
         pad[pad_len..pad_len + 8].copy_from_slice(&bit_len.to_be_bytes());
-        self.update(&pad[..pad_len + 8].to_vec());
+        self.update(&pad[..pad_len + 8]);
         debug_assert_eq!(self.buffer_len, 0);
         let mut out = [0u8; 32];
         for (i, w) in self.state.iter().enumerate() {

@@ -225,7 +225,7 @@ impl MuteDetector {
         // Aging: decrement counters periodically so sporadic collision
         // losses never accumulate to the threshold.
         while now.saturating_since(self.last_decay) >= self.config.decay_interval {
-            self.last_decay = self.last_decay + self.config.decay_interval;
+            self.last_decay += self.config.decay_interval;
             self.counters.retain(|_, c| {
                 *c = c.saturating_sub(1);
                 *c > 0
@@ -516,7 +516,7 @@ mod threshold_tests {
         let mut t = SimTime::from_secs(1);
         for k in 0..6 {
             t = miss(&mut fd, t, k);
-            t = t + SimDuration::from_secs(20);
+            t += SimDuration::from_secs(20);
             fd.tick(t);
         }
         assert!(!fd.is_suspected(NodeId(1), t));

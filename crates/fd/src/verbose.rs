@@ -107,7 +107,7 @@ impl VerboseDetector {
     /// Ages counters down and expires old suspicions.
     pub fn tick(&mut self, now: SimTime) {
         while now.saturating_since(self.last_decay) >= self.config.decay_interval {
-            self.last_decay = self.last_decay + self.config.decay_interval;
+            self.last_decay += self.config.decay_interval;
             self.counters.retain(|_, c| {
                 *c = c.saturating_sub(1);
                 *c > 0
@@ -190,7 +190,7 @@ mod tests {
         // Slow indictments never accumulate to the threshold.
         let mut now = t;
         for _ in 0..10 {
-            now = now + SimDuration::from_secs(2);
+            now += SimDuration::from_secs(2);
             fd.indict(now, NodeId(2));
             fd.tick(now);
         }

@@ -18,22 +18,36 @@ fn kind_of(k: u8) -> MsgKind {
     }
 }
 
+fn exact_patterns_bind_all_fields_case(k: u8, origin: u32, seq: u64) -> Result<(), TestCaseError> {
+    let h = MsgHeader::new(kind_of(k), NodeId(origin), seq);
+    let p = HeaderPattern::exact(h);
+    prop_assert!(p.matches(&h));
+    prop_assert!(HeaderPattern::any().matches(&h));
+    // `k % 5 + 1` is always a *different* kind (no mod-wrap collision).
+    let other_kind = MsgHeader::new(kind_of(k % 5 + 1), NodeId(origin), seq);
+    prop_assert!(!p.matches(&other_kind));
+    let other_origin = MsgHeader::new(kind_of(k), NodeId(origin.wrapping_add(1)), seq);
+    prop_assert!(!p.matches(&other_origin));
+    let other_seq = MsgHeader::new(kind_of(k), NodeId(origin), seq.wrapping_add(1));
+    prop_assert!(!p.matches(&other_seq));
+    Ok(())
+}
+
+/// The shrunk case recorded in `properties.proptest-regressions`
+/// (`k = 255, origin = 0, seq = 0`), pinned so it replays on every run.
+#[test]
+fn regression_exact_pattern_at_type_boundaries() {
+    exact_patterns_bind_all_fields_case(255, 0, 0).unwrap();
+    // The same boundary on the other wrap-sensitive fields.
+    exact_patterns_bind_all_fields_case(255, u32::MAX, u64::MAX).unwrap();
+}
+
 proptest! {
     /// The exact pattern of a header matches it; changing any field breaks
     /// the match; the full wildcard matches everything.
     #[test]
     fn exact_patterns_bind_all_fields(k in any::<u8>(), origin in any::<u32>(), seq in any::<u64>()) {
-        let h = MsgHeader::new(kind_of(k), NodeId(origin), seq);
-        let p = HeaderPattern::exact(h);
-        prop_assert!(p.matches(&h));
-        prop_assert!(HeaderPattern::any().matches(&h));
-        // `k % 5 + 1` is always a *different* kind (no mod-wrap collision).
-        let other_kind = MsgHeader::new(kind_of(k % 5 + 1), NodeId(origin), seq);
-        prop_assert!(!p.matches(&other_kind));
-        let other_origin = MsgHeader::new(kind_of(k), NodeId(origin.wrapping_add(1)), seq);
-        prop_assert!(!p.matches(&other_origin));
-        let other_seq = MsgHeader::new(kind_of(k), NodeId(origin), seq.wrapping_add(1));
-        prop_assert!(!p.matches(&other_seq));
+        exact_patterns_bind_all_fields_case(k, origin, seq)?;
     }
 
     /// Widening a pattern (dropping a field) can only grow its match set.
@@ -75,14 +89,14 @@ proptest! {
         for _ in 0..misses {
             seq += 1;
             fd.expect(t, HeaderPattern::data_msg(NodeId(9), seq), &[NodeId(1)], ExpectMode::All);
-            t = t + SimDuration::from_millis(150);
+            t += SimDuration::from_millis(150);
             fd.tick(t);
         }
         for _ in 0..satisfied {
             seq += 1;
             fd.expect(t, HeaderPattern::data_msg(NodeId(9), seq), &[NodeId(1)], ExpectMode::All);
             fd.observe(&MsgHeader::new(MsgKind::Data, NodeId(9), seq), NodeId(1));
-            t = t + SimDuration::from_millis(150);
+            t += SimDuration::from_millis(150);
             fd.tick(t);
         }
         prop_assert_eq!(fd.miss_count(NodeId(1)), u64::from(misses));

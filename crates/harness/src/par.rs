@@ -1,0 +1,125 @@
+//! Deterministic parallel map over independent work items.
+//!
+//! The experiment harness replicates runs over seeds and sweep points; each
+//! run is sealed (own seeded RNG, own simulator), so runs can execute on any
+//! thread in any order. [`par_map`] exploits that: workers pull items off a
+//! shared index and send back `(index, result)` pairs, and the caller
+//! reassembles results **by item index** — never by completion order — so
+//! the output is bit-identical to the serial map regardless of thread count
+//! or scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// The number of worker threads to use by default: the `BYZCAST_THREADS`
+/// environment variable when set, otherwise the machine's available
+/// parallelism (at least 1).
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("BYZCAST_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` on up to `threads` worker threads, returning
+/// results in item order.
+///
+/// `f` receives `(index, &item)`. With `threads <= 1` (or a single item)
+/// the map runs inline on the calling thread; either way the returned
+/// vector is identical — ordering is by index, not completion.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the scope joins its workers).
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = threads.min(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    return;
+                }
+                // A send error means the receiver is gone, which only
+                // happens when the scope is unwinding from another panic.
+                if tx.send((i, f(i, &items[i]))).is_err() {
+                    return;
+                }
+            });
+        }
+        drop(tx);
+        for (i, r) in rx {
+            slots[i] = Some(r);
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index produced a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_item_order() {
+        let items: Vec<u64> = (0..100).collect();
+        for threads in [1, 2, 4, 7] {
+            let out = par_map(&items, threads, |i, &x| {
+                // Vary per-item work so completion order scrambles.
+                let mut acc = x;
+                for _ in 0..(x % 13) * 1000 {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i as u64);
+                }
+                (i, x, acc)
+            });
+            for (i, &(idx, x, _)) in out.iter().enumerate() {
+                assert_eq!(i, idx);
+                assert_eq!(x, items[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let items: Vec<u32> = (0..57).collect();
+        let serial = par_map(&items, 1, |i, &x| x as usize * 3 + i);
+        let parallel = par_map(&items, 8, |i, &x| x as usize * 3 + i);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let none: Vec<u8> = vec![];
+        assert!(par_map(&none, 4, |_, &x| x).is_empty());
+        assert_eq!(par_map(&[9u8], 4, |_, &x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

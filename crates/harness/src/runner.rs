@@ -1,0 +1,355 @@
+//! The parallel experiment runner: sweep points × seed replications with
+//! deterministic results and per-run observability.
+//!
+//! Experiments declare their sweep as a list of [`SweepPoint`]s (a labelled
+//! scenario + workload, optionally with a custom measurement closure) and
+//! hand it to [`run_sweep`]. The runner fans the full `points × seeds` grid
+//! out over worker threads via [`crate::par::par_map`]; each run builds its
+//! own simulator from its own seed, so results are **bit-identical to the
+//! serial order no matter the thread count**. Per run it records wall-clock
+//! time and the [`RunSummary`], optionally appends a JSONL record (see
+//! [`crate::record`]) to `<results_dir>/<experiment>.jsonl`, and optionally
+//! prints a progress line to stderr as runs complete.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::par::par_map;
+use crate::record::{run_record, RecordMeta};
+use crate::scenario::ScenarioConfig;
+use crate::summary::RunSummary;
+use crate::sweep::aggregate;
+use crate::workload::Workload;
+
+/// What one run of a sweep point produced: the standard summary plus any
+/// experiment-specific named measurements (exported to JSONL and available
+/// through [`PointResult::extra_mean`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunOutcome {
+    /// The distilled run summary.
+    pub summary: RunSummary,
+    /// Extra named measurements (e.g. suspicion-episode counts).
+    pub extras: Vec<(&'static str, f64)>,
+}
+
+impl From<RunSummary> for RunOutcome {
+    fn from(summary: RunSummary) -> Self {
+        RunOutcome {
+            summary,
+            extras: Vec::new(),
+        }
+    }
+}
+
+/// A custom measurement: receives the seeded scenario and the workload,
+/// runs them however it likes (e.g. building the simulator by hand to
+/// inspect per-node state), and returns the outcome.
+pub type RunFn = dyn Fn(&ScenarioConfig, &Workload) -> RunOutcome + Send + Sync;
+
+/// One labelled point of a sweep.
+#[derive(Clone)]
+pub struct SweepPoint {
+    /// Display label, e.g. `n=80/byzcast-cds`.
+    pub label: String,
+    /// Parameters exported to the JSONL record.
+    pub params: Vec<(String, String)>,
+    /// The scenario; its `seed` is overwritten per replication.
+    pub config: ScenarioConfig,
+    /// The workload driven through the scenario.
+    pub workload: Workload,
+    /// Custom measurement; `None` means `config.run(&workload)`.
+    pub run: Option<Arc<RunFn>>,
+}
+
+impl SweepPoint {
+    /// A standard point: label, JSONL params, scenario, workload.
+    pub fn new(
+        label: impl Into<String>,
+        params: Vec<(String, String)>,
+        config: ScenarioConfig,
+        workload: Workload,
+    ) -> Self {
+        SweepPoint {
+            label: label.into(),
+            params,
+            config,
+            workload,
+            run: None,
+        }
+    }
+
+    /// Attaches a custom measurement closure.
+    pub fn with_run(mut self, run: Arc<RunFn>) -> Self {
+        self.run = Some(run);
+        self
+    }
+}
+
+/// Runner configuration, shared by all experiment binaries.
+#[derive(Clone, Debug)]
+pub struct RunnerConfig {
+    /// Experiment id, used as the JSONL file stem (e.g. `r1_overhead`).
+    pub experiment: String,
+    /// Worker threads (1 = serial; results are identical either way).
+    pub threads: usize,
+    /// Replication seeds applied to every point.
+    pub seeds: Vec<u64>,
+    /// Where to write `<experiment>.jsonl` (`None` = no records).
+    pub results_dir: Option<PathBuf>,
+    /// Print a progress line to stderr as each run completes.
+    pub progress: bool,
+}
+
+/// One completed replication of a sweep point.
+#[derive(Clone, Debug)]
+pub struct CompletedRun {
+    /// The replication seed.
+    pub seed: u64,
+    /// Wall-clock time of this run in milliseconds (observability only —
+    /// never feeds any aggregate).
+    pub wall_ms: f64,
+    /// What the run measured.
+    pub outcome: RunOutcome,
+}
+
+/// All replications of one sweep point plus their aggregate.
+#[derive(Clone, Debug)]
+pub struct PointResult {
+    /// The point's label.
+    pub label: String,
+    /// Per-seed runs, in seed order.
+    pub runs: Vec<CompletedRun>,
+    /// Seed-aggregated summary (see [`crate::sweep::aggregate`]).
+    pub aggregate: RunSummary,
+}
+
+impl PointResult {
+    /// Mean of a named extra across the point's runs, if every run
+    /// reported it.
+    pub fn extra_mean(&self, name: &str) -> Option<f64> {
+        let values: Vec<f64> = self
+            .runs
+            .iter()
+            .filter_map(|r| {
+                r.outcome
+                    .extras
+                    .iter()
+                    .find(|(n, _)| *n == name)
+                    .map(|&(_, v)| v)
+            })
+            .collect();
+        if values.len() == self.runs.len() && !values.is_empty() {
+            Some(values.iter().sum::<f64>() / values.len() as f64)
+        } else {
+            None
+        }
+    }
+}
+
+/// Executes the full `points × seeds` grid and returns one [`PointResult`]
+/// per point, in point order.
+///
+/// Determinism: each unit of work clones the point's scenario with one
+/// replication seed and builds a fresh simulator, and results are collected
+/// by grid index — so for a fixed config the returned results (and any
+/// aggregate table printed from them) are byte-identical for any
+/// `threads >= 1`. Only the `wall_ms` observability field and the order of
+/// progress lines vary between executions.
+///
+/// # Panics
+///
+/// Panics if `config.seeds` is empty, or if the results directory or JSONL
+/// file cannot be written.
+pub fn run_sweep(config: &RunnerConfig, points: &[SweepPoint]) -> Vec<PointResult> {
+    assert!(!config.seeds.is_empty(), "need at least one seed");
+    let units: Vec<(usize, u64)> = points
+        .iter()
+        .enumerate()
+        .flat_map(|(p, _)| config.seeds.iter().map(move |&s| (p, s)))
+        .collect();
+
+    let done = AtomicUsize::new(0);
+    let total = units.len();
+    let outcomes: Vec<CompletedRun> = par_map(&units, config.threads, |_, &(p, seed)| {
+        let point = &points[p];
+        let seeded = ScenarioConfig {
+            seed,
+            ..point.config.clone()
+        };
+        let start = Instant::now();
+        let outcome = match &point.run {
+            Some(run) => run(&seeded, &point.workload),
+            None => RunOutcome::from(seeded.run(&point.workload)),
+        };
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        if config.progress {
+            let k = done.fetch_add(1, Ordering::Relaxed) + 1;
+            eprintln!(
+                "  [{k}/{total}] {} seed={seed} delivery={:.3} ({wall_ms:.0} ms)",
+                point.label, outcome.summary.delivery_ratio
+            );
+        }
+        CompletedRun {
+            seed,
+            wall_ms,
+            outcome,
+        }
+    });
+
+    if let Some(dir) = &config.results_dir {
+        write_records(config, points, &units, &outcomes, dir);
+    }
+
+    outcomes
+        .chunks(config.seeds.len())
+        .zip(points)
+        .map(|(runs, point)| {
+            let summaries: Vec<RunSummary> =
+                runs.iter().map(|r| r.outcome.summary.clone()).collect();
+            PointResult {
+                label: point.label.clone(),
+                runs: runs.to_vec(),
+                aggregate: aggregate(&summaries),
+            }
+        })
+        .collect()
+}
+
+fn write_records(
+    config: &RunnerConfig,
+    points: &[SweepPoint],
+    units: &[(usize, u64)],
+    outcomes: &[CompletedRun],
+    dir: &PathBuf,
+) {
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join(format!("{}.jsonl", config.experiment));
+    let mut out = std::io::BufWriter::new(std::fs::File::create(&path).expect("create jsonl"));
+    for (i, (&(p, seed), run)) in units.iter().zip(outcomes).enumerate() {
+        let point = &points[p];
+        let meta = RecordMeta {
+            experiment: &config.experiment,
+            label: &point.label,
+            params: &point.params,
+            seed,
+            run_index: i,
+            wall_ms: run.wall_ms,
+        };
+        let line = run_record(&meta, &run.outcome.summary, &run.outcome.extras);
+        writeln!(out, "{line}").expect("write jsonl record");
+    }
+    out.flush().expect("flush jsonl");
+    if config.progress {
+        eprintln!("  wrote {} records to {}", outcomes.len(), path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use byzcast_sim::{Field, SimConfig};
+
+    fn points() -> Vec<SweepPoint> {
+        [14usize, 18]
+            .into_iter()
+            .map(|n| {
+                SweepPoint::new(
+                    format!("n={n}"),
+                    vec![("n".to_owned(), n.to_string())],
+                    ScenarioConfig {
+                        n,
+                        sim: SimConfig {
+                            field: Field::new(420.0, 420.0),
+                            ..SimConfig::default()
+                        },
+                        ..ScenarioConfig::default()
+                    },
+                    Workload {
+                        count: 2,
+                        ..Workload::default()
+                    },
+                )
+            })
+            .collect()
+    }
+
+    fn runner(threads: usize, dir: Option<PathBuf>) -> RunnerConfig {
+        RunnerConfig {
+            experiment: "test_sweep".to_owned(),
+            threads,
+            seeds: vec![3, 4, 5],
+            results_dir: dir,
+            progress: false,
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let points = points();
+        let serial = run_sweep(&runner(1, None), &points);
+        let parallel = run_sweep(&runner(4, None), &points);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.label, p.label);
+            assert_eq!(s.aggregate, p.aggregate);
+            for (a, b) in s.runs.iter().zip(&p.runs) {
+                assert_eq!(a.seed, b.seed);
+                assert_eq!(a.outcome, b.outcome);
+            }
+        }
+    }
+
+    #[test]
+    fn one_jsonl_record_per_run() {
+        let dir = std::env::temp_dir().join(format!("byzcast-runner-test-{}", std::process::id()));
+        let points = points();
+        let config = runner(2, Some(dir.clone()));
+        let results = run_sweep(&config, &points);
+        let text = std::fs::read_to_string(dir.join("test_sweep.jsonl")).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), points.len() * config.seeds.len());
+        // Records come in grid order: point-major, then seed.
+        assert!(lines[0].contains(r#""point":"n=14""#));
+        assert!(lines[0].contains(r#""seed":3"#));
+        assert!(lines[3].contains(r#""point":"n=18""#));
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+        // The runs behind the records really happened.
+        assert!(results.iter().all(|p| p.runs.len() == 3));
+    }
+
+    #[test]
+    fn custom_run_closures_and_extras() {
+        let mut points = points();
+        points.truncate(1);
+        let points: Vec<SweepPoint> = points
+            .into_iter()
+            .map(|p| {
+                p.with_run(Arc::new(|config: &ScenarioConfig, w: &Workload| {
+                    RunOutcome {
+                        summary: config.run(w),
+                        extras: vec![("answer", 21.0)],
+                    }
+                }))
+            })
+            .collect();
+        let results = run_sweep(&runner(2, None), &points);
+        assert_eq!(results[0].extra_mean("answer"), Some(21.0));
+        assert_eq!(results[0].extra_mean("missing"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seed")]
+    fn empty_seeds_panic() {
+        let config = RunnerConfig {
+            seeds: vec![],
+            ..runner(1, None)
+        };
+        run_sweep(&config, &points());
+    }
+}

@@ -396,10 +396,7 @@ impl ScenarioConfig {
     ) {
         let adv = self.adversary_set();
         let mut overlay_mask = vec![false; self.n];
-        let mut requests = 0u64;
-        let mut finds = 0u64;
-        let mut served = 0u64;
-        let mut recovered = 0u64;
+        let mut totals = byzcast_core::ProtocolCounters::default();
         let mut high_water = 0usize;
         let mut true_sus = 0u64;
         let mut false_sus = 0u64;
@@ -412,11 +409,7 @@ impl ScenarioConfig {
             };
             overlay_mask[id.index()] = node.is_overlay();
             if correct[id.index()] {
-                let c = node.counters();
-                requests += c.requests_sent;
-                finds += c.finds_sent;
-                served += c.recoveries_served;
-                recovered += c.recovered_via_request;
+                totals.merge(node.counters());
                 high_water = high_water.max(node.store().high_water());
                 for ep in node.suspicion_log().episodes() {
                     if adv.contains(&ep.suspect) {
@@ -431,10 +424,11 @@ impl ScenarioConfig {
         let adj = self.adjacency(sim.positions());
         summary.overlay_size = Some(overlay_mask.iter().filter(|&&b| b).count());
         summary.overlay_ok = Some(connected_correct_cover(&adj, &overlay_mask, correct));
-        summary.requests = requests;
-        summary.finds = finds;
-        summary.recoveries_served = served;
-        summary.recovered = recovered;
+        summary.requests = totals.requests_sent;
+        summary.finds = totals.finds_sent;
+        summary.recoveries_served = totals.recoveries_served;
+        summary.recovered = totals.recovered_via_request;
+        summary.counters = Some(totals);
         summary.store_high_water = high_water;
         summary.true_suspicions = true_sus;
         summary.false_suspicions = false_sus;

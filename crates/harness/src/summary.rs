@@ -2,11 +2,12 @@
 
 use std::collections::BTreeSet;
 
+use byzcast_core::ProtocolCounters;
 use byzcast_sim::{Metrics, NodeId};
 
 /// The distilled result of one simulation run — the quantities the paper's
 /// evaluation plots.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct RunSummary {
     /// Protocol label ("byzcast/cds", "flooding", "2-overlays", …).
     pub protocol: String,
@@ -59,6 +60,14 @@ pub struct RunSummary {
     pub true_suspicions: u64,
     /// Suspicions by correct nodes of correct nodes (FD mistakes).
     pub false_suspicions: u64,
+    /// Sorted per-delivery accept latencies in seconds. Kept so replicated
+    /// runs can be aggregated with *pooled* percentiles instead of the
+    /// biased mean-of-percentiles.
+    pub latencies_s: Vec<f64>,
+    /// Protocol counters summed over correct nodes (byzcast only).
+    pub counters: Option<ProtocolCounters>,
+    /// Frames and bytes sent per wire-message kind, sorted by kind.
+    pub frame_kinds: Vec<(String, u64, u64)>,
 }
 
 impl RunSummary {
@@ -133,12 +142,17 @@ impl RunSummary {
             max_latency_s,
             collisions: metrics.collision_losses,
             noise_losses: metrics.noise_losses,
+            latencies_s: latencies,
+            frame_kinds: metrics
+                .kind_breakdown()
+                .map(|(kind, frames, bytes)| (kind.to_owned(), frames, bytes))
+                .collect(),
             ..RunSummary::default()
         }
     }
 }
 
-fn mean(xs: &[f64]) -> f64 {
+pub(crate) fn mean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
         0.0
     } else {
@@ -147,7 +161,7 @@ fn mean(xs: &[f64]) -> f64 {
 }
 
 /// Percentile of a sorted slice (nearest-rank).
-fn percentile(sorted: &[f64], q: f64) -> f64 {
+pub(crate) fn percentile(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }

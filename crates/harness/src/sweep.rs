@@ -1,25 +1,48 @@
 //! Replication over seeds and aggregation of summaries.
 
+use byzcast_core::ProtocolCounters;
+
+use crate::par::par_map;
 use crate::scenario::ScenarioConfig;
-use crate::summary::RunSummary;
+use crate::summary::{mean, percentile, RunSummary};
 use crate::workload::Workload;
 
 /// Runs the scenario once per seed, returning all summaries.
 pub fn replicate(config: &ScenarioConfig, workload: &Workload, seeds: &[u64]) -> Vec<RunSummary> {
-    seeds
-        .iter()
-        .map(|&seed| {
-            ScenarioConfig {
-                seed,
-                ..config.clone()
-            }
-            .run(workload)
-        })
-        .collect()
+    replicate_par(config, workload, seeds, 1)
+}
+
+/// Like [`replicate`], fanned out over up to `threads` worker threads.
+///
+/// Each seed gets its own scenario clone and simulator and results come
+/// back in seed order, so the output is identical to [`replicate`] for any
+/// thread count.
+pub fn replicate_par(
+    config: &ScenarioConfig,
+    workload: &Workload,
+    seeds: &[u64],
+    threads: usize,
+) -> Vec<RunSummary> {
+    par_map(seeds, threads, |_, &seed| {
+        ScenarioConfig {
+            seed,
+            ..config.clone()
+        }
+        .run(workload)
+    })
 }
 
 /// Averages a set of summaries (same scenario, different seeds) field-wise.
 /// Counters become means; `overlay_ok` becomes "all replicas ok".
+///
+/// Latency statistics are **pooled**: the per-run latency samples are
+/// concatenated and the mean/p99 computed over the pool, which weights each
+/// delivery equally (a mean of per-run p99s is biased when run sizes
+/// differ). When no run carries samples (synthetic summaries), the mean of
+/// the per-run fields is used as an approximation. `frames_per_delivery`
+/// averages the *finite* replicas only — a run with zero deliveries has no
+/// defined cost per delivery and must not drag the mean toward zero; the
+/// aggregate is infinite only if every replica is.
 ///
 /// # Panics
 ///
@@ -31,6 +54,24 @@ pub fn aggregate(summaries: &[RunSummary]) -> RunSummary {
     let mean_u = |f: fn(&RunSummary) -> u64| {
         (summaries.iter().map(f).sum::<u64>() as f64 / k).round() as u64
     };
+
+    let finite_fpd: Vec<f64> = summaries
+        .iter()
+        .map(|s| s.frames_per_delivery)
+        .filter(|v| v.is_finite())
+        .collect();
+
+    let mut pooled: Vec<f64> = summaries
+        .iter()
+        .flat_map(|s| s.latencies_s.iter().copied())
+        .collect();
+    pooled.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let (mean_latency_s, p99_latency_s) = if pooled.is_empty() {
+        (mean_f(|s| s.mean_latency_s), mean_f(|s| s.p99_latency_s))
+    } else {
+        (mean(&pooled), percentile(&pooled, 0.99))
+    };
+
     RunSummary {
         protocol: summaries[0].protocol.clone(),
         n: summaries[0].n,
@@ -45,15 +86,13 @@ pub fn aggregate(summaries: &[RunSummary]) -> RunSummary {
         bytes_sent: mean_u(|s| s.bytes_sent),
         data_frames: mean_u(|s| s.data_frames),
         control_frames: mean_u(|s| s.control_frames),
-        frames_per_delivery: mean_f(|s| {
-            if s.frames_per_delivery.is_finite() {
-                s.frames_per_delivery
-            } else {
-                0.0
-            }
-        }),
-        mean_latency_s: mean_f(|s| s.mean_latency_s),
-        p99_latency_s: mean_f(|s| s.p99_latency_s),
+        frames_per_delivery: if finite_fpd.is_empty() {
+            f64::INFINITY
+        } else {
+            finite_fpd.iter().sum::<f64>() / finite_fpd.len() as f64
+        },
+        mean_latency_s,
+        p99_latency_s,
         max_latency_s: summaries
             .iter()
             .map(|s| s.max_latency_s)
@@ -82,7 +121,56 @@ pub fn aggregate(summaries: &[RunSummary]) -> RunSummary {
             .unwrap_or(0),
         true_suspicions: mean_u(|s| s.true_suspicions),
         false_suspicions: mean_u(|s| s.false_suspicions),
+        latencies_s: pooled,
+        counters: mean_counters(summaries),
+        frame_kinds: mean_frame_kinds(summaries),
     }
+}
+
+/// Field-wise mean of the protocol counters, present only when every
+/// replica reported them.
+fn mean_counters(summaries: &[RunSummary]) -> Option<ProtocolCounters> {
+    let k = summaries.len() as f64;
+    let mut total = ProtocolCounters::default();
+    for s in summaries {
+        total.merge(s.counters.as_ref()?);
+    }
+    let avg = |v: u64| (v as f64 / k).round() as u64;
+    Some(ProtocolCounters {
+        data_originated: avg(total.data_originated),
+        data_forwards: avg(total.data_forwards),
+        gossip_packets: avg(total.gossip_packets),
+        gossip_entries: avg(total.gossip_entries),
+        requests_sent: avg(total.requests_sent),
+        finds_sent: avg(total.finds_sent),
+        recoveries_served: avg(total.recoveries_served),
+        recovered_via_request: avg(total.recovered_via_request),
+        bad_signatures_seen: avg(total.bad_signatures_seen),
+        beacons_sent: avg(total.beacons_sent),
+    })
+}
+
+/// Per-kind mean of frames and bytes, over the replicas that saw the kind.
+fn mean_frame_kinds(summaries: &[RunSummary]) -> Vec<(String, u64, u64)> {
+    let k = summaries.len() as f64;
+    let mut totals: std::collections::BTreeMap<&str, (u64, u64)> = Default::default();
+    for s in summaries {
+        for (kind, frames, bytes) in &s.frame_kinds {
+            let e = totals.entry(kind).or_insert((0, 0));
+            e.0 += frames;
+            e.1 += bytes;
+        }
+    }
+    totals
+        .into_iter()
+        .map(|(kind, (frames, bytes))| {
+            (
+                kind.to_owned(),
+                (frames as f64 / k).round() as u64,
+                (bytes as f64 / k).round() as u64,
+            )
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -123,6 +211,51 @@ mod tests {
     }
 
     #[test]
+    fn infinite_frames_per_delivery_is_excluded_not_zeroed() {
+        let mut dead = summary(0.0, 100);
+        dead.frames_per_delivery = f64::INFINITY;
+        let mut live = summary(1.0, 100);
+        live.frames_per_delivery = 12.0;
+        // One dead replica must not halve the cost estimate.
+        let agg = aggregate(&[dead.clone(), live]);
+        assert!((agg.frames_per_delivery - 12.0).abs() < 1e-9);
+        // All-dead stays infinite (no deliveries ever happened).
+        let agg = aggregate(&[dead.clone(), dead]);
+        assert!(agg.frames_per_delivery.is_infinite());
+    }
+
+    #[test]
+    fn latency_percentiles_are_pooled() {
+        let mut a = summary(1.0, 100);
+        a.latencies_s = vec![0.1, 0.2];
+        a.p99_latency_s = 0.2;
+        let mut b = summary(1.0, 100);
+        b.latencies_s = (1..=98).map(|i| i as f64).collect();
+        b.p99_latency_s = 98.0;
+        let agg = aggregate(&[a, b]);
+        // Mean of per-run p99s would be 49.1; the pooled p99 over all 100
+        // samples is the 99th-ranked one.
+        assert!((agg.p99_latency_s - 97.0).abs() < 1e-9);
+        assert_eq!(agg.latencies_s.len(), 100);
+        // Pooled mean weights every delivery equally.
+        let expected = (0.1 + 0.2 + (1..=98).map(|i| i as f64).sum::<f64>()) / 100.0;
+        assert!((agg.mean_latency_s - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counters_require_every_replica() {
+        let mut with = summary(1.0, 100);
+        with.counters = Some(ProtocolCounters {
+            gossip_packets: 10,
+            ..ProtocolCounters::default()
+        });
+        let agg = aggregate(&[with.clone(), with.clone()]);
+        assert_eq!(agg.counters.unwrap().gossip_packets, 10);
+        let agg = aggregate(&[with, summary(1.0, 100)]);
+        assert!(agg.counters.is_none());
+    }
+
+    #[test]
     #[should_panic(expected = "zero summaries")]
     fn empty_aggregate_panics() {
         aggregate(&[]);
@@ -135,16 +268,20 @@ mod replicate_tests {
     use crate::scenario::ScenarioConfig;
     use byzcast_sim::{Field, SimConfig};
 
-    #[test]
-    fn replicate_varies_only_the_seed() {
-        let config = ScenarioConfig {
+    fn config() -> ScenarioConfig {
+        ScenarioConfig {
             n: 20,
             sim: SimConfig {
                 field: Field::new(450.0, 450.0),
                 ..SimConfig::default()
             },
             ..ScenarioConfig::default()
-        };
+        }
+    }
+
+    #[test]
+    fn replicate_varies_only_the_seed() {
+        let config = config();
         let w = Workload {
             count: 3,
             ..Workload::default()
@@ -157,5 +294,20 @@ mod replicate_tests {
         let again = replicate(&config, &w, &[4]);
         assert_eq!(again[0].frames_sent, summaries[0].frames_sent);
         assert_eq!(again[0].delivery_ratio, summaries[0].delivery_ratio);
+    }
+
+    #[test]
+    fn parallel_replication_matches_serial() {
+        let config = config();
+        let w = Workload {
+            count: 2,
+            ..Workload::default()
+        };
+        let seeds = [4u64, 5, 6, 7];
+        let serial = replicate(&config, &w, &seeds);
+        for threads in [2, 4] {
+            let parallel = replicate_par(&config, &w, &seeds, threads);
+            assert_eq!(serial, parallel);
+        }
     }
 }

@@ -1,0 +1,163 @@
+//! The case runner: configuration, failure reporting, reject handling.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::strategy::{Strategy, TestRng};
+
+/// Runner configuration (`ProptestConfig` in the prelude).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Maximum rejected (`prop_assume!`) cases before giving up.
+    pub max_global_rejects: u32,
+    /// Unused; kept for source compatibility with real proptest configs.
+    pub max_local_rejects: u32,
+    /// Unused; the shim does not shrink.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        Config {
+            cases,
+            max_global_rejects: 65_536,
+            max_local_rejects: 65_536,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the test fails.
+    Fail(String),
+    /// An assumption did not hold; the case is discarded.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failing case with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejected (discarded) case with the given reason.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// FNV-1a, used to derive a stable per-test seed from the test name.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `test` over `config.cases` generated cases, panicking with the
+/// offending inputs on the first failure. The RNG seed is derived from the
+/// test name (override with `PROPTEST_SEED`), so runs are reproducible.
+pub fn run_cases<S, F>(name: &str, config: &Config, strategy: &S, mut test: F)
+where
+    S: Strategy,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    let seed = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| fnv1a(name));
+    let mut rng = TestRng::new(seed);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let mut case_index = 0u64;
+    while passed < config.cases {
+        let value = strategy.generate(&mut rng);
+        let repr = format!("{value:?}");
+        case_index += 1;
+        let outcome = catch_unwind(AssertUnwindSafe(|| test(value)));
+        match outcome {
+            Ok(Ok(())) => passed += 1,
+            Ok(Err(TestCaseError::Reject(why))) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!("{name}: too many rejected cases (last: {why})");
+                }
+            }
+            Ok(Err(TestCaseError::Fail(msg))) => {
+                panic!("{name}: case #{case_index} failed (seed {seed}):\n{msg}\ninputs: {repr}");
+            }
+            Err(panic) => {
+                let msg = panic_message(&panic);
+                panic!("{name}: case #{case_index} panicked (seed {seed}): {msg}\ninputs: {repr}");
+            }
+        }
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0u32;
+        let config = Config {
+            cases: 50,
+            ..Config::default()
+        };
+        run_cases("always_ok", &config, &(0u32..10), |v| {
+            assert!(v < 10);
+            count += 1;
+            Ok(())
+        });
+        assert_eq!(count, 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "inputs:")]
+    fn failing_property_reports_inputs() {
+        let config = Config {
+            cases: 50,
+            ..Config::default()
+        };
+        run_cases("always_fail", &config, &(0u32..10), |_| {
+            Err(TestCaseError::fail("nope"))
+        });
+    }
+
+    #[test]
+    fn rejects_are_not_counted_as_cases() {
+        let mut executed = 0u32;
+        let config = Config {
+            cases: 10,
+            ..Config::default()
+        };
+        run_cases("half_reject", &config, &(0u32..10), |v| {
+            if v % 2 == 0 {
+                return Err(TestCaseError::reject("even"));
+            }
+            executed += 1;
+            Ok(())
+        });
+        assert_eq!(executed, 10);
+    }
+}

@@ -849,7 +849,7 @@ mod tests {
             ..SimConfig::default()
         };
         let mut sim = SimBuilder::new(config)
-            .with_mobility(Box::new(RandomWaypointForTest::new()))
+            .with_mobility(Box::new(waypoint_for_test()))
             .with_nodes(10, Flooder::boxed)
             .build();
         let before = sim.positions().to_vec();
@@ -864,11 +864,8 @@ mod tests {
     }
 
     use crate::mobility::RandomWaypoint;
-    struct RandomWaypointForTest;
-    impl RandomWaypointForTest {
-        fn new() -> RandomWaypoint {
-            RandomWaypoint::new(5.0, 10.0, SimDuration::ZERO)
-        }
+    fn waypoint_for_test() -> RandomWaypoint {
+        RandomWaypoint::new(5.0, 10.0, SimDuration::ZERO)
     }
 
     #[test]

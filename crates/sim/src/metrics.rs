@@ -145,6 +145,14 @@ impl Metrics {
     pub fn bytes_of_kind(&self, kind: &str) -> u64 {
         self.bytes_by_kind.get(kind).copied().unwrap_or(0)
     }
+
+    /// `(kind, frames, bytes)` per message kind, in kind order — the
+    /// per-run breakdown the harness exports to JSONL records.
+    pub fn kind_breakdown(&self) -> impl Iterator<Item = (&'static str, u64, u64)> + '_ {
+        self.frames_by_kind
+            .iter()
+            .map(|(&kind, &frames)| (kind, frames, self.bytes_of_kind(kind)))
+    }
 }
 
 #[cfg(test)]

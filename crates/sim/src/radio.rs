@@ -75,7 +75,7 @@ impl RadioConfig {
     /// Validates the configuration, returning a description of the first
     /// problem found.
     pub fn validate(&self) -> Result<(), String> {
-        if !(self.range_m > 0.0) {
+        if self.range_m.is_nan() || self.range_m <= 0.0 {
             return Err(format!("range_m must be positive, got {}", self.range_m));
         }
         if !(0.0..1.0).contains(&self.fading_fraction) {

@@ -75,6 +75,44 @@ fn small_workload(count: usize) -> Workload {
 // Simulation-backed properties (few, expensive cases)
 // ---------------------------------------------------------------------
 
+fn dissemination_case(seed: u64, n: usize) -> Result<(), TestCaseError> {
+    let positions = connected_positions(seed, n, 550.0, 250.0);
+    let config = scenario_on(positions, 550.0, seed);
+    let s = config.run(&small_workload(4));
+    prop_assert_eq!(s.delivery_ratio, 1.0);
+    Ok(())
+}
+
+fn reproducibility_case(seed: u64, n: usize) -> Result<(), TestCaseError> {
+    let config = ScenarioConfig {
+        seed,
+        n,
+        sim: SimConfig {
+            field: Field::new(500.0, 500.0),
+            ..SimConfig::default()
+        },
+        ..ScenarioConfig::default()
+    };
+    let a = config.run(&small_workload(3));
+    let b = config.run(&small_workload(3));
+    prop_assert_eq!(a.frames_sent, b.frames_sent);
+    prop_assert_eq!(a.bytes_sent, b.bytes_sent);
+    prop_assert_eq!(a.collisions, b.collisions);
+    prop_assert_eq!(a.delivery_ratio, b.delivery_ratio);
+    prop_assert_eq!(a.mean_latency_s, b.mean_latency_s);
+    Ok(())
+}
+
+/// Shrunk case from `properties.proptest-regressions` (`seed = 271,
+/// n = 15`), pinned against both simulation-backed (seed, n) properties
+/// so the exact failing topology replays on every run.
+#[test]
+fn regression_seed_271_n_15() {
+    dissemination_case(271, 15).unwrap();
+    reproducibility_case(271, 15).unwrap();
+    bfs_metric_case(271, 15).unwrap();
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 8, .. ProptestConfig::default() })]
 
@@ -85,31 +123,13 @@ proptest! {
         seed in 0u64..1000,
         n in 8usize..22,
     ) {
-        let positions = connected_positions(seed, n, 550.0, 250.0);
-        let config = scenario_on(positions, 550.0, seed);
-        let s = config.run(&small_workload(4));
-        prop_assert_eq!(s.delivery_ratio, 1.0);
+        dissemination_case(seed, n)?;
     }
 
     /// Determinism: the same scenario and seed reproduce identical metrics.
     #[test]
     fn runs_are_bit_reproducible(seed in 0u64..1000, n in 10usize..30) {
-        let config = ScenarioConfig {
-            seed,
-            n,
-            sim: SimConfig {
-                field: Field::new(500.0, 500.0),
-                ..SimConfig::default()
-            },
-            ..ScenarioConfig::default()
-        };
-        let a = config.run(&small_workload(3));
-        let b = config.run(&small_workload(3));
-        prop_assert_eq!(a.frames_sent, b.frames_sent);
-        prop_assert_eq!(a.bytes_sent, b.bytes_sent);
-        prop_assert_eq!(a.collisions, b.collisions);
-        prop_assert_eq!(a.delivery_ratio, b.delivery_ratio);
-        prop_assert_eq!(a.mean_latency_s, b.mean_latency_s);
+        reproducibility_case(seed, n)?;
     }
 
     /// Validity under random mute-adversary placements: correct nodes only
@@ -241,24 +261,7 @@ proptest! {
     /// BFS distances satisfy the triangle property along edges.
     #[test]
     fn bfs_distance_is_a_metric_along_edges(seed in any::<u64>(), n in 2usize..30) {
-        let mut rng = SimRng::new(seed);
-        let field = Field::new(400.0, 400.0);
-        let positions: Vec<Position> = (0..n).map(|_| field.random_position(&mut rng)).collect();
-        let adj = disk_adjacency(&positions, 200.0);
-        let dist = bfs_distances(&adj, NodeId(0));
-        for (u, nbrs) in adj.iter().enumerate() {
-            for v in nbrs {
-                match (dist[u], dist[v.index()]) {
-                    (Some(du), Some(dv)) => {
-                        prop_assert!(du.abs_diff(dv) <= 1, "edge ({u},{v}) gap {du}-{dv}")
-                    }
-                    (Some(_), None) | (None, Some(_)) => {
-                        prop_assert!(false, "edge spans components")
-                    }
-                    (None, None) => {}
-                }
-            }
-        }
+        bfs_metric_case(seed, n)?;
     }
 
     /// The multi-overlay planner always covers every component, for any
@@ -269,17 +272,52 @@ proptest! {
         n in 2usize..30,
         k in 1u8..4,
     ) {
-        let mut rng = SimRng::new(seed);
-        let field = Field::new(500.0, 500.0);
-        let positions: Vec<Position> = (0..n).map(|_| field.random_position(&mut rng)).collect();
-        let adj = disk_adjacency(&positions, 220.0);
-        let memberships = byzcast::baselines::plan_overlays(&adj, k, seed);
-        for overlay in 0..k as usize {
-            for i in 0..n {
-                let covered = memberships[i][overlay]
-                    || adj[i].iter().any(|v| memberships[v.index()][overlay]);
-                prop_assert!(covered, "node {i} uncovered in overlay {overlay}");
+        planned_overlays_case(seed, n, k)?;
+    }
+}
+
+fn bfs_metric_case(seed: u64, n: usize) -> Result<(), TestCaseError> {
+    let mut rng = SimRng::new(seed);
+    let field = Field::new(400.0, 400.0);
+    let positions: Vec<Position> = (0..n).map(|_| field.random_position(&mut rng)).collect();
+    let adj = disk_adjacency(&positions, 200.0);
+    let dist = bfs_distances(&adj, NodeId(0));
+    for (u, nbrs) in adj.iter().enumerate() {
+        for v in nbrs {
+            match (dist[u], dist[v.index()]) {
+                (Some(du), Some(dv)) => {
+                    prop_assert!(du.abs_diff(dv) <= 1, "edge ({u},{v}) gap {du}-{dv}")
+                }
+                (Some(_), None) | (None, Some(_)) => {
+                    prop_assert!(false, "edge spans components")
+                }
+                (None, None) => {}
             }
         }
     }
+    Ok(())
+}
+
+fn planned_overlays_case(seed: u64, n: usize, k: u8) -> Result<(), TestCaseError> {
+    let mut rng = SimRng::new(seed);
+    let field = Field::new(500.0, 500.0);
+    let positions: Vec<Position> = (0..n).map(|_| field.random_position(&mut rng)).collect();
+    let adj = disk_adjacency(&positions, 220.0);
+    let memberships = byzcast::baselines::plan_overlays(&adj, k, seed);
+    for (i, row) in memberships.iter().enumerate() {
+        for (overlay, &member) in row.iter().enumerate() {
+            let covered = member || adj[i].iter().any(|v| memberships[v.index()][overlay]);
+            prop_assert!(covered, "node {i} uncovered in overlay {overlay}");
+        }
+    }
+    Ok(())
+}
+
+/// Shrunk case from `properties.proptest-regressions`
+/// (`seed = 297956877030878764, n = 3, k = 1`): a tiny, possibly
+/// disconnected geometry where the planner must still dominate every
+/// component.
+#[test]
+fn regression_planner_dominates_tiny_disconnected_graph() {
+    planned_overlays_case(297956877030878764, 3, 1).unwrap();
 }
