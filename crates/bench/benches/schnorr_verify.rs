@@ -1,0 +1,55 @@
+//! Crypto hot-path benchmarks for PR 2's two optimizations.
+//!
+//! * Fixed-base windowed exponentiation (`FixedBaseTable`) against the
+//!   square-and-multiply `pow_mod` it replaces inside Schnorr
+//!   sign/verify — same values, fewer multiplications.
+//! * The memoizing `CachingVerifier` on its hit path against the bare
+//!   verifier it wraps — the per-reception cost when the same signed
+//!   message arrives again via another neighbor, which is the common case
+//!   in a broadcast protocol.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use byzcast_crypto::schnorr::{pow_mod, FixedBaseTable};
+use byzcast_crypto::{CachingVerifier, KeyRegistry, SchnorrScheme, Signer, SignerId, Verifier};
+
+/// The toy group's modulus and generator (mirrors `schnorr.rs`).
+const P: u64 = 2_305_843_201_413_480_359;
+const G: u64 = 157_608_736_213_706_629;
+
+fn bench_fixed_base(c: &mut Criterion) {
+    let table = FixedBaseTable::new(G);
+    // A full-width exponent: worst case for both implementations.
+    let exp: u64 = 0x7FFF_FFF1;
+    let mut group = c.benchmark_group("fixed_base_pow");
+    group.bench_function("pow_mod", |b| {
+        b.iter(|| pow_mod(black_box(G), black_box(exp), P))
+    });
+    group.bench_function("table", |b| b.iter(|| table.pow(black_box(exp))));
+    group.finish();
+}
+
+fn bench_verify_cache(c: &mut Criterion) {
+    let keys: KeyRegistry<SchnorrScheme> = KeyRegistry::generate(1, 4);
+    let signer = keys.signer(SignerId(0));
+    let data = vec![0x42u8; 128];
+    let sig = signer.sign(&data);
+
+    let bare = keys.verifier();
+    let cached = CachingVerifier::new(keys.verifier(), 512);
+    // Warm the cache so the loop below measures the hit path.
+    assert!(cached.verify(SignerId(0), &data, &sig));
+
+    let mut group = c.benchmark_group("schnorr_verify");
+    group.bench_function("uncached", |b| {
+        b.iter(|| bare.verify(SignerId(0), black_box(&data), &sig))
+    });
+    group.bench_function("cache_hit", |b| {
+        b.iter(|| cached.verify(SignerId(0), black_box(&data), &sig))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fixed_base, bench_verify_cache);
+criterion_main!(benches);

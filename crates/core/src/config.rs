@@ -54,6 +54,12 @@ pub struct ByzcastConfig {
     pub max_requests_per_msg: u32,
     /// Minimum spacing between retries for the same missing message.
     pub request_retry_spacing: SimDuration,
+    /// Capacity (entries per LRU generation) of each node's signature-
+    /// verification cache; `0` disables caching so every reception
+    /// re-verifies. Caching never changes verdicts — only how often the
+    /// underlying verifier runs — so protocol behaviour is identical either
+    /// way.
+    pub sig_cache_capacity: usize,
 }
 
 impl Default for ByzcastConfig {
@@ -75,6 +81,7 @@ impl Default for ByzcastConfig {
             gossip_advertise_rounds: 3,
             max_requests_per_msg: 5,
             request_retry_spacing: SimDuration::from_millis(1000),
+            sig_cache_capacity: 512,
         }
     }
 }

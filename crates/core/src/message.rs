@@ -273,9 +273,30 @@ impl BeaconMsg {
         dominator_neighbors: &[NodeId],
         suspects: &[NodeId],
     ) -> Vec<u8> {
-        let mut out = Vec::with_capacity(
-            16 + 4 * (neighbors.len() + dominator_neighbors.len() + suspects.len()),
+        let mut out = Vec::new();
+        Self::canonical_bytes_into(
+            &mut out,
+            sender,
+            role,
+            marked,
+            neighbors,
+            dominator_neighbors,
+            suspects,
         );
+        out
+    }
+
+    fn canonical_bytes_into(
+        out: &mut Vec<u8>,
+        sender: NodeId,
+        role: OverlayRole,
+        marked: bool,
+        neighbors: &[NodeId],
+        dominator_neighbors: &[NodeId],
+        suspects: &[NodeId],
+    ) {
+        out.clear();
+        out.reserve(16 + 4 * (neighbors.len() + dominator_neighbors.len() + suspects.len()));
         out.extend_from_slice(&sender.0.to_le_bytes());
         out.push(match role {
             OverlayRole::Passive => 0,
@@ -289,7 +310,6 @@ impl BeaconMsg {
                 out.extend_from_slice(&n.0.to_le_bytes());
             }
         }
-        out
     }
 
     /// Builds and signs a beacon. `marked` defaults to the role's activity;
@@ -342,18 +362,24 @@ impl BeaconMsg {
 
     /// Verifies the sender's signature.
     pub fn verify(&self, verifier: &dyn Verifier) -> bool {
-        verifier.verify(
-            SignerId(self.sender.0),
-            &Self::canonical_bytes(
-                self.sender,
-                self.role,
-                self.marked,
-                &self.neighbors,
-                &self.dominator_neighbors,
-                &self.suspects,
-            ),
-            &self.sig,
-        )
+        self.verify_with(verifier, &mut Vec::new())
+    }
+
+    /// Verifies the sender's signature, rebuilding the signed preimage into
+    /// `scratch` (beacons are the most frequently verified message, and a
+    /// caller-owned buffer makes the rebuild allocation-free on the hot
+    /// path).
+    pub fn verify_with(&self, verifier: &dyn Verifier, scratch: &mut Vec<u8>) -> bool {
+        Self::canonical_bytes_into(
+            scratch,
+            self.sender,
+            self.role,
+            self.marked,
+            &self.neighbors,
+            &self.dominator_neighbors,
+            &self.suspects,
+        );
+        verifier.verify(SignerId(self.sender.0), scratch, &self.sig)
     }
 
     /// The FD-visible header.

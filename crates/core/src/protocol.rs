@@ -22,7 +22,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
-use byzcast_crypto::{Signer, Verifier};
+use byzcast_crypto::{CacheStats, Signer, Verifier};
 use byzcast_fd::{
     ExpectMode, FailureDetectors, HeaderPattern, MsgKind, SuspicionLog, SuspicionReason, TrustLevel,
 };
@@ -87,6 +87,13 @@ pub struct ProtocolCounters {
     pub bad_signatures_seen: u64,
     /// Beacons sent.
     pub beacons_sent: u64,
+    /// Signature verifications answered by this node's verification cache.
+    /// Zero while the node runs (filled from [`ByzcastNode::sig_cache_stats`]
+    /// when the harness totals counters).
+    pub sig_cache_hits: u64,
+    /// Signature verifications that ran the real verifier (see
+    /// `sig_cache_hits`).
+    pub sig_cache_misses: u64,
 }
 
 impl ProtocolCounters {
@@ -102,6 +109,8 @@ impl ProtocolCounters {
         self.recovered_via_request += other.recovered_via_request;
         self.bad_signatures_seen += other.bad_signatures_seen;
         self.beacons_sent += other.beacons_sent;
+        self.sig_cache_hits += other.sig_cache_hits;
+        self.sig_cache_misses += other.sig_cache_misses;
     }
 }
 
@@ -159,6 +168,9 @@ pub struct ByzcastNode {
     /// Which neighbours have been observed holding each buffered message
     /// (drives stability-based purging when enabled).
     stability: StabilityTracker,
+    /// Reused preimage buffer for beacon verification (the most frequent
+    /// signature check).
+    beacon_scratch: Vec<u8>,
 }
 
 /// A scheduled recovery response.
@@ -213,6 +225,7 @@ impl ByzcastNode {
             finds_forwarded: BTreeMap::new(),
             served_recently: BTreeMap::new(),
             stability: StabilityTracker::new(),
+            beacon_scratch: Vec::new(),
         }
     }
 
@@ -243,6 +256,12 @@ impl ByzcastNode {
     /// Protocol counters.
     pub fn counters(&self) -> &ProtocolCounters {
         &self.counters
+    }
+
+    /// Hit/miss counters of this node's signature-verification cache, if its
+    /// verifier memoizes (see `ByzcastConfig::sig_cache_capacity`).
+    pub fn sig_cache_stats(&self) -> Option<CacheStats> {
+        self.verifier.cache_stats()
     }
 
     /// The message buffer.
@@ -684,7 +703,7 @@ impl ByzcastNode {
             self.suspect(now, from, SuspicionReason::ProtocolViolation);
             return;
         }
-        if !b.verify(self.verifier.as_ref()) {
+        if !b.verify_with(self.verifier.as_ref(), &mut self.beacon_scratch) {
             self.suspect(now, from, SuspicionReason::BadSignature);
             return;
         }
@@ -759,8 +778,10 @@ impl ByzcastNode {
         // Only gossip messages we still hold (purging stops their gossip)
         // and whose advertisement window is open. Exhausted entries stay as
         // 0-round tombstones until the store purges them, so a neighbour's
-        // late echo cannot restart our advertising.
-        self.active_gossip.retain(|id, _| self.store.has(*id));
+        // late echo cannot restart our advertising. The store only shrinks
+        // in `purge_tick`, which prunes `active_gossip` in the same breath,
+        // so `active_gossip ⊆ store` already holds here.
+        debug_assert!(self.active_gossip.keys().all(|id| self.store.has(*id)));
         let ids: Vec<MessageId> = self
             .active_gossip
             .iter()

@@ -12,7 +12,7 @@
 //! remains as a backstop (a neighbour that never gossips would otherwise pin
 //! buffers forever).
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 use byzcast_sim::{NodeId, SimTime};
 
@@ -31,9 +31,12 @@ pub enum PurgePolicy {
 }
 
 /// Tracks, per buffered message, which nodes have been observed holding it.
+/// Holder sets are sorted vectors (observations arrive hot, once per gossip
+/// entry per reception; a vector's binary-search insert beats a tree set at
+/// neighbourhood sizes, and iteration order stays ascending).
 #[derive(Debug, Default)]
 pub struct StabilityTracker {
-    holders: BTreeMap<MessageId, BTreeSet<NodeId>>,
+    holders: BTreeMap<MessageId, Vec<NodeId>>,
 }
 
 impl StabilityTracker {
@@ -46,7 +49,10 @@ impl StabilityTracker {
     /// the message, or gossiped its signature ("p only gossips about
     /// messages it has already received").
     pub fn observe_holder(&mut self, id: MessageId, node: NodeId) {
-        self.holders.entry(id).or_default().insert(node);
+        let h = self.holders.entry(id).or_default();
+        if let Err(pos) = h.binary_search(&node) {
+            h.insert(pos, node);
+        }
     }
 
     /// Whether every node in `neighbors` has been observed holding `id`.
@@ -58,12 +64,12 @@ impl StabilityTracker {
         mut neighbors: impl Iterator<Item = &'a NodeId>,
     ) -> bool {
         match self.holders.get(&id) {
-            Some(h) => neighbors.all(|n| h.contains(n)),
+            Some(h) => neighbors.all(|n| h.binary_search(n).is_ok()),
             None => false,
         }
     }
 
-    /// The observed holders of `id`.
+    /// The observed holders of `id`, in ascending id order.
     pub fn holders(&self, id: MessageId) -> impl Iterator<Item = NodeId> + '_ {
         self.holders.get(&id).into_iter().flatten().copied()
     }

@@ -23,11 +23,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod registry;
 pub mod schnorr;
 pub mod sha256;
 pub mod sim_sig;
 
+pub use cache::CachingVerifier;
 pub use registry::KeyRegistry;
 pub use schnorr::{SchnorrScheme, SchnorrSigner, SchnorrVerifier};
 pub use sha256::{hmac_sha256, sha256, Digest};
@@ -80,10 +82,27 @@ pub trait Signer {
     fn sign(&self, data: &[u8]) -> Signature;
 }
 
+/// Counters exposed by memoizing verifiers (see [`cache::CachingVerifier`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Verifications answered from the cache.
+    pub hits: u64,
+    /// Verifications that reached the wrapped verifier.
+    pub misses: u64,
+    /// Cached verdicts dropped to respect the capacity bound.
+    pub evictions: u64,
+}
+
 /// Verifies signatures of any node, given the public-key directory.
 pub trait Verifier {
     /// Whether `sig` is a valid signature by `signer` over `data`.
     fn verify(&self, signer: SignerId, data: &[u8], sig: &Signature) -> bool;
+
+    /// Hit/miss counters, for verifiers that memoize verdicts. `None` for
+    /// plain verifiers (the default).
+    fn cache_stats(&self) -> Option<CacheStats> {
+        None
+    }
 }
 
 /// A complete signature scheme: mints per-node signers and a shared verifier.

@@ -18,6 +18,8 @@
 //! real algorithm at simulation speed. Swap in full-size parameters (and a
 //! big-integer backend) for any non-simulated use.
 
+use std::sync::{Arc, LazyLock};
+
 use crate::sha256::Sha256;
 use crate::{Signature, SignatureScheme, Signer, SignerId, Verifier};
 
@@ -29,12 +31,15 @@ pub const Q: u64 = 2_147_483_647;
 pub const G: u64 = 157_608_736_213_706_629;
 
 /// Modular multiplication with a 62-bit modulus via 128-bit intermediates.
-fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+pub fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
     ((a as u128 * b as u128) % m as u128) as u64
 }
 
 /// Modular exponentiation by squaring.
-fn pow_mod(mut base: u64, mut exp: u64, m: u64) -> u64 {
+///
+/// Public so benchmarks can compare it against [`FixedBaseTable::pow`];
+/// within the scheme all fixed-base exponentiations go through the tables.
+pub fn pow_mod(mut base: u64, mut exp: u64, m: u64) -> u64 {
     let mut acc: u64 = 1 % m;
     base %= m;
     while exp > 0 {
@@ -46,6 +51,61 @@ fn pow_mod(mut base: u64, mut exp: u64, m: u64) -> u64 {
     }
     acc
 }
+
+const WINDOW_BITS: u32 = 4;
+const WINDOWS: usize = 8; // 8 × 4 bits cover every exponent < q < 2³²
+
+/// Fixed-base windowed exponentiation table modulo [`P`].
+///
+/// Both verification exponentiations (`g^s` and `y^(q−e)`) raise a *known*
+/// base to a < 32-bit exponent, so precomputing `base^(d·16^w)` for every
+/// window `w` and digit `d` turns each `pow_mod` (~46 multiplications) into
+/// at most 8 table multiplications. Values are exactly those of
+/// [`pow_mod`] — this is a speedup, never a behaviour change.
+#[derive(Clone, Debug)]
+pub struct FixedBaseTable {
+    // windows[w][d] = base^(d << (4·w)) mod p
+    windows: Box<[[u64; 1 << WINDOW_BITS]; WINDOWS]>,
+}
+
+impl FixedBaseTable {
+    /// Precomputes the table for `base` (120 multiplications, ~1 KiB).
+    pub fn new(base: u64) -> Self {
+        let mut windows = Box::new([[1u64; 1 << WINDOW_BITS]; WINDOWS]);
+        let mut unit = base % P; // base^(16^w) as w advances
+        for window in windows.iter_mut() {
+            for d in 1..1 << WINDOW_BITS {
+                window[d] = mul_mod(window[d - 1], unit, P);
+            }
+            unit = mul_mod(window[(1 << WINDOW_BITS) - 1], unit, P);
+        }
+        FixedBaseTable { windows }
+    }
+
+    /// `base^exp mod p` for `exp < 2³²`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `exp` fits the table's 32-bit range (every
+    /// exponent the scheme produces is `< q < 2³¹`).
+    pub fn pow(&self, exp: u64) -> u64 {
+        debug_assert!(
+            exp >> (WINDOW_BITS * WINDOWS as u32) == 0,
+            "exponent too wide"
+        );
+        let mut acc: u64 = 1;
+        for (w, window) in self.windows.iter().enumerate() {
+            let digit = (exp >> (WINDOW_BITS * w as u32)) as usize & ((1 << WINDOW_BITS) - 1);
+            if digit != 0 {
+                acc = mul_mod(acc, window[digit], P);
+            }
+        }
+        acc
+    }
+}
+
+/// The generator's table, shared by key generation, signing and verification.
+static G_TABLE: LazyLock<FixedBaseTable> = LazyLock::new(|| FixedBaseTable::new(G));
 
 /// Derives the Fiat–Shamir challenge `e = H(r ‖ signer ‖ m) mod q`.
 fn challenge(r: u64, signer: SignerId, msg: &[u8]) -> u64 {
@@ -83,7 +143,8 @@ pub struct SchnorrSigner {
 /// Verifies against the public-key directory.
 #[derive(Clone, Debug)]
 pub struct SchnorrVerifier {
-    publics: std::sync::Arc<Vec<u64>>,
+    /// Per-signer fixed-base tables for `y^(q−e)`; index = signer id.
+    y_tables: Arc<Vec<FixedBaseTable>>,
 }
 
 impl SignatureScheme for SchnorrScheme {
@@ -101,7 +162,7 @@ impl SignatureScheme for SchnorrScheme {
                 .update(&i.to_le_bytes());
             let x = 1 + h.finalize().prefix_u64() % (Q - 1);
             privates.push(x);
-            publics.push(pow_mod(G, x, P));
+            publics.push(G_TABLE.pow(x));
         }
         SchnorrScheme { privates, publics }
     }
@@ -115,7 +176,12 @@ impl SignatureScheme for SchnorrScheme {
 
     fn verifier(&self) -> SchnorrVerifier {
         SchnorrVerifier {
-            publics: std::sync::Arc::new(self.publics.clone()),
+            y_tables: Arc::new(
+                self.publics
+                    .iter()
+                    .map(|&y| FixedBaseTable::new(y))
+                    .collect(),
+            ),
         }
     }
 }
@@ -153,7 +219,7 @@ impl Signer for SchnorrSigner {
 
     fn sign(&self, data: &[u8]) -> Signature {
         let k = nonce(self.private, data);
-        let r = pow_mod(G, k, P);
+        let r = G_TABLE.pow(k);
         let e = challenge(r, self.id, data);
         let s = (k + mul_mod(self.private, e, Q)) % Q;
         encode(e, s)
@@ -168,12 +234,12 @@ impl Verifier for SchnorrVerifier {
         if e >= Q || s >= Q {
             return false;
         }
-        let Some(&y) = self.publics.get(signer.0 as usize) else {
+        let Some(y_table) = self.y_tables.get(signer.0 as usize) else {
             return false;
         };
         // r' = g^s * y^(q - e)  (y has order q, so y^(q-e) = y^(-e)).
-        let gs = pow_mod(G, s, P);
-        let y_inv_e = pow_mod(y, Q - e, P);
+        let gs = G_TABLE.pow(s);
+        let y_inv_e = y_table.pow(Q - e);
         let r = mul_mod(gs, y_inv_e, P);
         challenge(r, signer, data) == e
     }
@@ -298,6 +364,23 @@ mod tests {
         let a = P - 1;
         // (p-1)^2 mod p = 1.
         assert_eq!(mul_mod(a, a, P), 1);
+    }
+
+    #[test]
+    fn fixed_base_table_matches_pow_mod_exactly() {
+        for base in [G, 2, P - 1, 123_456_789_012_345] {
+            let table = FixedBaseTable::new(base);
+            // Edges plus a deterministic pseudo-random sweep of exponents.
+            let mut exps = vec![0u64, 1, 2, 15, 16, 17, Q - 1, Q, (1 << 32) - 1];
+            let mut x = 0x9e3779b97f4a7c15u64;
+            for _ in 0..200 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                exps.push(x >> 32); // uniform over [0, 2³²)
+            }
+            for &e in &exps {
+                assert_eq!(table.pow(e), pow_mod(base, e, P), "base {base}, exp {e}");
+            }
+        }
     }
 }
 

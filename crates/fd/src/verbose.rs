@@ -94,11 +94,15 @@ impl VerboseDetector {
     /// Feeds a message arrival; auto-indicts if it violates the minimum
     /// spacing registered for its kind.
     pub fn observe_arrival(&mut self, now: SimTime, node: NodeId, kind: MsgKind) {
-        if let Some(&spacing) = self.min_spacing.get(&kind) {
-            if let Some(&prev) = self.last_arrival.get(&(node, kind)) {
-                if now.saturating_since(prev) < spacing {
-                    self.indict(now, node);
-                }
+        // Arrival times are only ever compared against a spacing rule, so
+        // kinds without one need no tracking at all (rules are registered at
+        // initialization time, before any arrivals).
+        let Some(&spacing) = self.min_spacing.get(&kind) else {
+            return;
+        };
+        if let Some(&prev) = self.last_arrival.get(&(node, kind)) {
+            if now.saturating_since(prev) < spacing {
+                self.indict(now, node);
             }
         }
         self.last_arrival.insert((node, kind), now);

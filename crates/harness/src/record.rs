@@ -174,7 +174,9 @@ pub fn run_record(
             .u64("recoveries_served", c.recoveries_served)
             .u64("recovered_via_request", c.recovered_via_request)
             .u64("bad_signatures_seen", c.bad_signatures_seen)
-            .u64("beacons_sent", c.beacons_sent);
+            .u64("beacons_sent", c.beacons_sent)
+            .u64("sig_cache_hits", c.sig_cache_hits)
+            .u64("sig_cache_misses", c.sig_cache_misses);
         o.raw("counters", &co.finish());
     }
     if !summary.frame_kinds.is_empty() {

@@ -10,7 +10,7 @@ use byzcast_adversary::{
 use byzcast_baselines::{plan_overlays, FloodingNode, MoMsg, MultiOverlayNode};
 use byzcast_core::message::WireMsg;
 use byzcast_core::{ByzcastConfig, ByzcastNode};
-use byzcast_crypto::{KeyRegistry, SignerId, SimScheme, Verifier};
+use byzcast_crypto::{CachingVerifier, KeyRegistry, SignerId, SimScheme, Verifier};
 use byzcast_overlay::analysis::connected_correct_cover;
 use byzcast_sim::{
     BoxedProtocol, MobilityModel, NodeId, Position, RandomWalk, RandomWaypoint, SimBuilder,
@@ -230,6 +230,23 @@ impl ScenarioConfig {
         }
     }
 
+    /// One verifier instance **per run**, shared by every node: a single
+    /// bounded signature-verification cache (sized by
+    /// `ByzcastConfig::sig_cache_capacity`; `0` means a bare shared-keyset
+    /// verifier). Verification is a pure function of
+    /// `(signer, data, signature)`, so sharing the cache across nodes cannot
+    /// change any verdict — results stay bit-identical — while a frame heard
+    /// by many neighbours is verified once for the whole run instead of once
+    /// per receiver.
+    fn make_verifier(&self, keys: &KeyRegistry<SimScheme>) -> Arc<dyn Verifier + Send + Sync> {
+        let capacity = self.byzcast.sig_cache_capacity;
+        if capacity > 0 {
+            Arc::new(CachingVerifier::new(keys.verifier(), capacity))
+        } else {
+            Arc::new(keys.verifier())
+        }
+    }
+
     /// Byzcast and flooding (both speak `WireMsg`).
     fn run_wire(&self, workload: &Workload) -> RunSummary {
         let mut sim = self.build_wire_sim();
@@ -252,7 +269,8 @@ impl ScenarioConfig {
         let positions = self.initial_positions();
         let adv = self.adversary_set();
         let keys: KeyRegistry<SimScheme> = KeyRegistry::generate(self.seed, self.n as u32);
-        let verifier: Arc<dyn Verifier + Send + Sync> = Arc::new(keys.verifier());
+        let verifier = self.make_verifier(&keys);
+        let make_verifier = || Arc::clone(&verifier);
         let flooding = self.protocol == ProtocolChoice::Flooding;
 
         let make_correct = |id: NodeId| -> BoxedProtocol<WireMsg> {
@@ -260,14 +278,14 @@ impl ScenarioConfig {
                 Box::new(FloodingNode::new(
                     id,
                     Box::new(keys.signer(SignerId(id.0))),
-                    Arc::clone(&verifier),
+                    make_verifier(),
                 ))
             } else {
                 Box::new(ByzcastNode::new(
                     id,
                     self.byzcast.clone(),
                     Box::new(keys.signer(SignerId(id.0))),
-                    Arc::clone(&verifier),
+                    make_verifier(),
                 ))
             }
         };
@@ -276,7 +294,7 @@ impl ScenarioConfig {
                 id,
                 self.byzcast.clone(),
                 Box::new(keys.signer(SignerId(id.0))),
-                Arc::clone(&verifier),
+                make_verifier(),
             )
         };
 
@@ -293,7 +311,7 @@ impl ScenarioConfig {
                             Box::new(SilentNode::new(FloodingNode::new(
                                 id,
                                 Box::new(keys.signer(SignerId(id.0))),
-                                Arc::clone(&verifier),
+                                make_verifier(),
                             )))
                         } else {
                             Box::new(SilentNode::new(make_byz_inner(id)))
@@ -304,7 +322,7 @@ impl ScenarioConfig {
                     _ if flooding => Box::new(SilentNode::new(FloodingNode::new(
                         id,
                         Box::new(keys.signer(SignerId(id.0))),
-                        Arc::clone(&verifier),
+                        make_verifier(),
                     ))),
                     AdversaryKind::Mute(policy) => {
                         Box::new(MuteNode::new(make_byz_inner(id), *policy))
@@ -348,7 +366,7 @@ impl ScenarioConfig {
         let memberships = plan_overlays(&adj, f + 1, self.seed);
         let adv = self.adversary_set();
         let keys: KeyRegistry<SimScheme> = KeyRegistry::generate(self.seed, self.n as u32);
-        let verifier: Arc<dyn Verifier + Send + Sync> = Arc::new(keys.verifier());
+        let verifier = self.make_verifier(&keys);
 
         let mut sim = SimBuilder::new(self.sim_config())
             .with_mobility(self.mobility.build())
@@ -400,6 +418,7 @@ impl ScenarioConfig {
         let mut high_water = 0usize;
         let mut true_sus = 0u64;
         let mut false_sus = 0u64;
+        let mut cache_stats = None;
         for i in 0..self.n as u32 {
             let id = NodeId(i);
             let Some(node) = byz_view(sim, id) else {
@@ -410,6 +429,12 @@ impl ScenarioConfig {
             overlay_mask[id.index()] = node.is_overlay();
             if correct[id.index()] {
                 totals.merge(node.counters());
+                // The verifier cache is one shared instance per run, so
+                // every node reports the same global counters — record them
+                // once instead of summing.
+                if cache_stats.is_none() {
+                    cache_stats = node.sig_cache_stats();
+                }
                 high_water = high_water.max(node.store().high_water());
                 for ep in node.suspicion_log().episodes() {
                     if adv.contains(&ep.suspect) {
@@ -419,6 +444,10 @@ impl ScenarioConfig {
                     }
                 }
             }
+        }
+        if let Some(cache) = cache_stats {
+            totals.sig_cache_hits = cache.hits;
+            totals.sig_cache_misses = cache.misses;
         }
         // Overlay quality on the *final* positions.
         let adj = self.adjacency(sim.positions());

@@ -147,6 +147,8 @@ fn mean_counters(summaries: &[RunSummary]) -> Option<ProtocolCounters> {
         recovered_via_request: avg(total.recovered_via_request),
         bad_signatures_seen: avg(total.bad_signatures_seen),
         beacons_sent: avg(total.beacons_sent),
+        sig_cache_hits: avg(total.sig_cache_hits),
+        sig_cache_misses: avg(total.sig_cache_misses),
     })
 }
 

@@ -24,8 +24,6 @@
 //! unnecessarily join the overlay, but it cannot destroy the connectivity of
 //! the overlay w.r.t. correct nodes".
 
-use std::collections::BTreeSet;
-
 use byzcast_fd::TrustLevel;
 use byzcast_sim::NodeId;
 
@@ -38,18 +36,19 @@ pub struct Cds;
 
 impl OverlayProtocol for Cds {
     fn decide(&self, me: NodeId, table: &NeighborTable, trust: &dyn TrustView) -> OverlayDecision {
-        // Neighbour sets by trust level. Untrusted nodes do not exist for us.
-        let mut must_cover: BTreeSet<NodeId> = BTreeSet::new(); // trusted + unknown
-        let mut coverers: BTreeSet<NodeId> = BTreeSet::new(); // trusted only
+        // Neighbour sets by trust level (sorted: table iteration is
+        // id-ordered). Untrusted nodes do not exist for us.
+        let mut must_cover: Vec<NodeId> = Vec::new(); // trusted + unknown
+        let mut coverers: Vec<NodeId> = Vec::new(); // trusted only
         for (id, _info) in table.iter() {
             match trust.level(id) {
                 TrustLevel::Untrusted => {}
                 TrustLevel::Unknown => {
-                    must_cover.insert(id);
+                    must_cover.push(id);
                 }
                 TrustLevel::Trusted => {
-                    must_cover.insert(id);
-                    coverers.insert(id);
+                    must_cover.push(id);
+                    coverers.push(id);
                 }
             }
         }
@@ -57,33 +56,63 @@ impl OverlayProtocol for Cds {
             return OverlayDecision::passive(); // nothing to relay between
         }
 
-        // Marking rule: two considered neighbours not adjacent to each other.
-        let nbrs: Vec<NodeId> = must_cover.iter().copied().collect();
-        let mut marked = false;
-        'outer: for (i, &u) in nbrs.iter().enumerate() {
-            for &v in &nbrs[i + 1..] {
-                if !table.are_adjacent(u, v) {
-                    marked = true;
-                    break 'outer;
+        // Whether n is in the closed advertised neighbourhood N(q) ∪ {q} —
+        // advertised lists are sorted, so membership is a binary search.
+        let in_closed = |q: NodeId, nq: &[NodeId], n: NodeId| -> bool {
+            n == q || nq.binary_search(&n).is_ok()
+        };
+        let advertised = |q: NodeId| -> &[NodeId] {
+            table.info(q).map(|i| i.neighbors.as_slice()).unwrap_or(&[])
+        };
+
+        // Marking rule: two considered neighbours not adjacent to each other,
+        // where adjacency (as in `NeighborTable::are_adjacent`) holds if
+        // either endpoint advertises the other. Instead of probing all
+        // d²/2 pairs, walk each neighbour u's sorted advertised list once
+        // against the sorted `must_cover` to find the members u does *not*
+        // advertise, and only those few candidates fall back to a reverse
+        // lookup. In the dense (unmarked) case — the common one, and the one
+        // with no early exit — this is O(Σ(d + |N(u)|)) instead of
+        // O(d² log d).
+        let marked = 'outer: {
+            for &u in &must_cover {
+                let nu = advertised(u);
+                let mut i = 0;
+                for &v in &must_cover {
+                    if v == u {
+                        continue;
+                    }
+                    while i < nu.len() && nu[i] < v {
+                        i += 1;
+                    }
+                    let u_advertises_v = i < nu.len() && nu[i] == v;
+                    if !u_advertises_v && advertised(v).binary_search(&u).is_err() {
+                        break 'outer true; // the pair (u, v) is not adjacent
+                    }
                 }
             }
-        }
+            false
+        };
+        // `decide` must stay a pure function of the table: debug-check the
+        // walk against the naive pairwise rule.
+        debug_assert_eq!(marked, {
+            let mut naive = false;
+            'naive: for (i, &u) in must_cover.iter().enumerate() {
+                for &v in &must_cover[i + 1..] {
+                    if !table.are_adjacent(u, v) {
+                        naive = true;
+                        break 'naive;
+                    }
+                }
+            }
+            naive
+        });
         if !marked {
             return OverlayDecision::passive();
         }
         let pruned = OverlayDecision {
             role: OverlayRole::Passive,
             marked: true,
-        };
-
-        // Closed advertised neighbourhood of a coverer q: N(q) ∪ {q}.
-        let closed = |q: NodeId| -> BTreeSet<NodeId> {
-            let mut s: BTreeSet<NodeId> = table
-                .info(q)
-                .map(|i| i.neighbors.iter().copied().collect())
-                .unwrap_or_default();
-            s.insert(q);
-            s
         };
         // Candidate coverers: trusted, advertised-*marked*, higher id.
         let marked_higher: Vec<NodeId> = coverers
@@ -95,22 +124,22 @@ impl OverlayProtocol for Cds {
 
         // Pruning rule 1.
         for &q in &marked_higher {
-            let cq = closed(q);
-            if must_cover.iter().all(|n| *n == q || cq.contains(n)) {
+            let nq = advertised(q);
+            if must_cover.iter().all(|&n| in_closed(q, nq, n)) {
                 return pruned;
             }
         }
         // Pruning rule 2.
         for (i, &q) in marked_higher.iter().enumerate() {
+            let nq = advertised(q);
             for &r in &marked_higher[i + 1..] {
                 if !table.are_adjacent(q, r) {
                     continue;
                 }
-                let mut cover = closed(q);
-                cover.extend(closed(r));
+                let nr = advertised(r);
                 if must_cover
                     .iter()
-                    .all(|n| *n == q || *n == r || cover.contains(n))
+                    .all(|&n| in_closed(q, nq, n) || in_closed(r, nr, n))
                 {
                     return pruned;
                 }

@@ -11,8 +11,6 @@
 //! Entries expire when beacons stop arriving, which is how departed or mute
 //! neighbours fall out of the view.
 
-use std::collections::{BTreeMap, BTreeSet};
-
 use byzcast_sim::{NodeId, SimDuration, SimTime};
 
 use crate::OverlayRole;
@@ -27,11 +25,14 @@ pub struct NeighborInfo {
     /// The neighbour's advertised Wu–Li *marked* flag (role-independent;
     /// what CDS pruning rules compare against).
     pub marked: bool,
-    /// The neighbour's advertised one-hop neighbour set.
-    pub neighbors: BTreeSet<NodeId>,
+    /// The neighbour's advertised one-hop neighbour set, sorted ascending
+    /// and deduplicated (so membership is a binary search and iteration
+    /// order matches the former `BTreeSet` representation exactly).
+    pub neighbors: Vec<NodeId>,
     /// The neighbour's advertised *dominator* neighbours (used by the MIS+B
-    /// bridge rule to find dominators two hops away).
-    pub dominator_neighbors: BTreeSet<NodeId>,
+    /// bridge rule to find dominators two hops away). Sorted ascending and
+    /// deduplicated.
+    pub dominator_neighbors: Vec<NodeId>,
 }
 
 /// A node's view of its one-hop neighbourhood (and, through advertised
@@ -57,7 +58,11 @@ pub struct NeighborInfo {
 #[derive(Clone, Debug)]
 pub struct NeighborTable {
     timeout: SimDuration,
-    entries: BTreeMap<NodeId, NeighborInfo>,
+    /// Entries sorted by id (the former `BTreeMap` iteration order).
+    /// Neighbourhoods are a few dozen entries, where a sorted vector's
+    /// binary-search lookups and contiguous scans (`prune` runs once per
+    /// beacon made) outpace a tree.
+    entries: Vec<(NodeId, NeighborInfo)>,
 }
 
 impl NeighborTable {
@@ -66,7 +71,7 @@ impl NeighborTable {
     pub fn new(timeout: SimDuration) -> Self {
         NeighborTable {
             timeout,
-            entries: BTreeMap::new(),
+            entries: Vec::new(),
         }
     }
 
@@ -104,15 +109,41 @@ impl NeighborTable {
         neighbors: impl IntoIterator<Item = NodeId>,
         dominator_neighbors: impl IntoIterator<Item = NodeId>,
     ) {
-        self.entries.insert(
-            from,
-            NeighborInfo {
-                last_heard: now,
-                role,
-                marked,
-                neighbors: neighbors.into_iter().collect(),
-                dominator_neighbors: dominator_neighbors.into_iter().collect(),
-            },
+        let fill = |list: &mut Vec<NodeId>, items: &mut dyn Iterator<Item = NodeId>| {
+            list.clear();
+            list.extend(items);
+            list.sort_unstable();
+            list.dedup();
+        };
+        // Re-fill in place on refresh: a periodic beacon then costs no
+        // allocation once the entry's lists have grown to their working size.
+        let pos = match self.entries.binary_search_by_key(&from, |&(id, _)| id) {
+            Ok(pos) => pos,
+            Err(pos) => {
+                self.entries.insert(
+                    pos,
+                    (
+                        from,
+                        NeighborInfo {
+                            last_heard: now,
+                            role,
+                            marked,
+                            neighbors: Vec::new(),
+                            dominator_neighbors: Vec::new(),
+                        },
+                    ),
+                );
+                pos
+            }
+        };
+        let info = &mut self.entries[pos].1;
+        info.last_heard = now;
+        info.role = role;
+        info.marked = marked;
+        fill(&mut info.neighbors, &mut neighbors.into_iter());
+        fill(
+            &mut info.dominator_neighbors,
+            &mut dominator_neighbors.into_iter(),
         );
     }
 
@@ -120,32 +151,39 @@ impl NeighborTable {
     pub fn prune(&mut self, now: SimTime) {
         let timeout = self.timeout;
         self.entries
-            .retain(|_, info| now.saturating_since(info.last_heard) <= timeout);
+            .retain(|(_, info)| now.saturating_since(info.last_heard) <= timeout);
     }
 
     /// Removes a neighbour outright (e.g. on conclusive misbehaviour).
     pub fn remove(&mut self, node: NodeId) {
-        self.entries.remove(&node);
+        if let Ok(pos) = self.entries.binary_search_by_key(&node, |&(id, _)| id) {
+            self.entries.remove(pos);
+        }
     }
 
     /// The live neighbour ids, in increasing order.
     pub fn neighbor_ids(&self) -> Vec<NodeId> {
-        self.entries.keys().copied().collect()
+        self.entries.iter().map(|&(id, _)| id).collect()
     }
 
     /// Info for a specific neighbour.
     pub fn info(&self, node: NodeId) -> Option<&NeighborInfo> {
-        self.entries.get(&node)
+        self.entries
+            .binary_search_by_key(&node, |&(id, _)| id)
+            .ok()
+            .map(|pos| &self.entries[pos].1)
     }
 
     /// Iterates `(id, info)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, &NeighborInfo)> {
-        self.entries.iter().map(|(&id, info)| (id, info))
+        self.entries.iter().map(|(id, info)| (*id, info))
     }
 
     /// Whether `node` is currently a live neighbour.
     pub fn contains(&self, node: NodeId) -> bool {
-        self.entries.contains_key(&node)
+        self.entries
+            .binary_search_by_key(&node, |&(id, _)| id)
+            .is_ok()
     }
 
     /// Number of live neighbours.
@@ -161,13 +199,13 @@ impl NeighborTable {
     /// Whether, according to advertised lists, `a` and `b` are adjacent.
     /// Falls back to `false` when neither endpoint's list is known.
     pub fn are_adjacent(&self, a: NodeId, b: NodeId) -> bool {
-        if let Some(ia) = self.entries.get(&a) {
-            if ia.neighbors.contains(&b) {
+        if let Some(ia) = self.info(a) {
+            if ia.neighbors.binary_search(&b).is_ok() {
                 return true;
             }
         }
-        if let Some(ib) = self.entries.get(&b) {
-            if ib.neighbors.contains(&a) {
+        if let Some(ib) = self.info(b) {
+            if ib.neighbors.binary_search(&a).is_ok() {
                 return true;
             }
         }

@@ -75,6 +75,7 @@ pub mod mobility;
 pub mod node;
 pub mod radio;
 pub mod rng;
+pub mod spatial;
 pub mod time;
 pub mod trace;
 
@@ -85,4 +86,5 @@ pub use mobility::{MobilityModel, RandomWalk, RandomWaypoint, StaticPlacement};
 pub use node::{AppPayload, Context, Message, NodeId, Protocol, TimerKey};
 pub use radio::{RadioConfig, RadioModel};
 pub use rng::SimRng;
+pub use spatial::{NodeGrid, TxGrid};
 pub use time::{SimDuration, SimTime};

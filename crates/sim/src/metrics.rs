@@ -53,7 +53,10 @@ pub struct NodeMetrics {
 }
 
 /// All metrics for a run.
-#[derive(Clone, Debug, Default)]
+///
+/// Compares with `==` so differential tests can assert that two runs (e.g.
+/// spatial index on vs. off) produced bit-identical observable behaviour.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Metrics {
     /// Frames sent, bucketed by [`crate::node::Message::kind`].
     pub frames_by_kind: BTreeMap<&'static str, u64>,

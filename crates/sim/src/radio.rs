@@ -161,13 +161,18 @@ impl RadioModel {
         }
     }
 
+    /// The audible (carrier-sense) radius in metres: beyond this distance a
+    /// transmission can neither defer a sender nor corrupt a reception, so
+    /// it bounds every spatial query the engine makes.
+    pub fn audible_radius(&self) -> f64 {
+        self.config.range_m * self.config.carrier_sense_factor * (1.0 + self.config.fading_fraction)
+    }
+
     /// Whether a transmission from `tx` is *audible* at `rx` — strong enough
     /// to defer a CSMA sender or corrupt an overlapping reception, even if
     /// not decodable.
     pub fn audible(&self, tx: &Position, rx: &Position) -> bool {
-        let cs = self.config.range_m
-            * self.config.carrier_sense_factor
-            * (1.0 + self.config.fading_fraction);
+        let cs = self.audible_radius();
         tx.distance_squared(rx) <= cs * cs
     }
 

@@ -1,0 +1,97 @@
+//! Differential determinism: the PR-2 performance machinery (spatial grids
+//! in the engine, per-node signature-verification caches, fixed-base
+//! exponentiation tables) must not change a single observable result.
+//!
+//! Each test runs one mid-size **mobile** byzcast scenario twice per seed —
+//! everything enabled vs. the naive paths — and asserts the summaries and
+//! the per-run JSONL records are byte-identical. The only tolerated
+//! difference is the `sig_cache_hits`/`sig_cache_misses` counters, which are
+//! observability *of the cache itself* (necessarily zero when it is off);
+//! the test masks them after asserting the cached run actually used the
+//! cache.
+
+use byzcast_harness::record::{run_record, RecordMeta};
+use byzcast_harness::{MobilityChoice, ScenarioConfig, Workload};
+use byzcast_sim::{Field, SimConfig, SimDuration};
+
+fn scenario(seed: u64, optimized: bool) -> ScenarioConfig {
+    let mut config = ScenarioConfig {
+        seed,
+        n: 40,
+        sim: SimConfig {
+            field: Field::new(700.0, 700.0),
+            mobility_tick: SimDuration::from_millis(100),
+            spatial_index: optimized,
+            ..SimConfig::default()
+        },
+        mobility: MobilityChoice::Waypoint {
+            min_mps: 1.0,
+            max_mps: 15.0,
+            pause: SimDuration::from_secs(1),
+        },
+        ..ScenarioConfig::default()
+    };
+    config.byzcast.sig_cache_capacity = if optimized { 512 } else { 0 };
+    config
+}
+
+fn workload() -> Workload {
+    Workload {
+        count: 5,
+        payload_bytes: 512,
+        start: SimDuration::from_secs(4),
+        interval: SimDuration::from_secs(1),
+        drain: SimDuration::from_secs(10),
+        ..Workload::default()
+    }
+}
+
+#[test]
+fn optimized_run_is_byte_identical_to_naive_for_three_seeds() {
+    for seed in [1, 2, 3] {
+        let naive = scenario(seed, false).run(&workload());
+        let mut optimized = scenario(seed, true).run(&workload());
+
+        // The scenario must be non-trivial and the cache actually exercised,
+        // otherwise equality proves nothing.
+        assert!(
+            optimized.delivery_ratio > 0.5 && optimized.frames_sent > 500,
+            "seed {seed}: scenario too trivial (ratio {}, frames {})",
+            optimized.delivery_ratio,
+            optimized.frames_sent
+        );
+        let counters = optimized.counters.as_mut().expect("byzcast counters");
+        assert!(
+            counters.sig_cache_hits > 0,
+            "seed {seed}: signature cache never hit"
+        );
+        // Mask the cache's own observability counters; every *simulation*
+        // quantity must match exactly.
+        counters.sig_cache_hits = 0;
+        counters.sig_cache_misses = 0;
+
+        assert_eq!(naive, optimized, "seed {seed}: summaries diverged");
+
+        // And the full JSONL records agree byte for byte.
+        let params = vec![("seed".to_owned(), seed.to_string())];
+        let record = |summary| {
+            run_record(
+                &RecordMeta {
+                    experiment: "perf_equivalence",
+                    label: "mobile-40",
+                    params: &params,
+                    seed,
+                    run_index: 0,
+                    wall_ms: 0.0, // wall-clock differs by construction
+                },
+                summary,
+                &[],
+            )
+        };
+        assert_eq!(
+            record(&naive),
+            record(&optimized),
+            "seed {seed}: JSONL records diverged"
+        );
+    }
+}
