@@ -28,13 +28,23 @@
 //!   victim originators (targeted censorship).
 //! * [`ImpersonatorNode`] — injects data messages with forged originators
 //!   and unsigned beacons; pure noise once signatures are checked.
+//! * [`FlappingNode`] — a correct node whose Byzantine behaviour (mute or
+//!   forging) is switched on and off mid-run by the fault plan's activation
+//!   windows; the hardest case for the MUTE/TRUST detectors.
+//! * [`SabotagedNode`] — a deliberately broken "correct" node (duplicate,
+//!   phantom or dropped deliveries) used to prove the chaos oracles catch
+//!   real protocol bugs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod flapping;
+pub mod sabotage;
 pub mod standalone;
 pub mod wrappers;
 
+pub use flapping::{FlapBehavior, FlappingNode};
+pub use sabotage::{SabotageKind, SabotagedNode};
 pub use standalone::{GossipLiarNode, ImpersonatorNode};
 pub use wrappers::{
     AlwaysDominator, ForgerNode, MuteNode, MutePolicy, SelectiveForwarder, SilentNode, VerboseNode,

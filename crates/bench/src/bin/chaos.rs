@@ -1,0 +1,300 @@
+//! `chaos` — the chaos soak harness: randomized fault-injection runs under
+//! the invariant-oracle suite, with corpus replay and scenario shrinking.
+//!
+//! Three subcommands:
+//!
+//! * `chaos run` — generate and execute seeded chaos cases ([`byzcast_harness::
+//!   chaos::generate_case`]); any run that violates an oracle is shrunk to a
+//!   minimal reproducer and persisted to the corpus directory. Exits nonzero
+//!   if any violation was found.
+//! * `chaos replay <file>...` — re-execute corpus files and compare the
+//!   observed per-oracle violation counts against their `expect` lines.
+//!   Exits nonzero on any mismatch: a reproducer either replays exactly or
+//!   the corpus is stale.
+//! * `chaos shrink <file>` — minimize a corpus case, printing the shrunk
+//!   case to stdout and shrink statistics to stderr.
+//!
+//! Records are deterministic: for a fixed `--seed-start`/`--runs`/`--quick`
+//! the JSONL output is byte-identical for any `--threads` value.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use byzcast_harness::chaos::{case_size, soak, violation_counts, CORPUS_HEADER};
+use byzcast_harness::{default_threads, parse_case, run_case, shrink, ChaosCase};
+
+const USAGE: &str = "\
+usage: chaos run [--runs N] [--seed-start S] [--quick] [--threads N]
+                 [--results-dir DIR] [--corpus-dir DIR] [--max-minutes M]
+                 [--shrink-budget B] [--no-progress]
+       chaos replay <file>...
+       chaos shrink <file> [--shrink-budget B]";
+
+struct RunOpts {
+    runs: usize,
+    seed_start: u64,
+    quick: bool,
+    threads: usize,
+    results_dir: Option<PathBuf>,
+    corpus_dir: Option<PathBuf>,
+    max_minutes: Option<f64>,
+    shrink_budget: usize,
+    progress: bool,
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        RunOpts {
+            runs: 100,
+            seed_start: 1,
+            quick: false,
+            threads: default_threads(),
+            results_dir: None,
+            corpus_dir: None,
+            max_minutes: None,
+            shrink_budget: 150,
+            progress: true,
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("run") => cmd_run(args),
+        Some("replay") => cmd_replay(args),
+        Some("shrink") => cmd_shrink(args),
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_run(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let mut opts = RunOpts::default();
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--runs" => opts.runs = value("--runs").parse().expect("--runs: not a number"),
+            "--seed-start" => {
+                opts.seed_start = value("--seed-start")
+                    .parse()
+                    .expect("--seed-start: not a number")
+            }
+            "--quick" | "-q" => opts.quick = true,
+            "--threads" => {
+                opts.threads = value("--threads").parse().expect("--threads: not a number")
+            }
+            "--results-dir" => opts.results_dir = Some(PathBuf::from(value("--results-dir"))),
+            "--corpus-dir" => opts.corpus_dir = Some(PathBuf::from(value("--corpus-dir"))),
+            "--max-minutes" => {
+                opts.max_minutes = Some(
+                    value("--max-minutes")
+                        .parse()
+                        .expect("--max-minutes: not a number"),
+                )
+            }
+            "--shrink-budget" => {
+                opts.shrink_budget = value("--shrink-budget")
+                    .parse()
+                    .expect("--shrink-budget: not a number")
+            }
+            "--no-progress" => opts.progress = false,
+            other => {
+                eprintln!("unknown flag {other}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let started = Instant::now();
+    // Fixed chunk size: batch boundaries decide each record's `run_index`,
+    // so they must not depend on `--threads` or the byte-identical-JSONL
+    // contract breaks. Chunks exist only for the --max-minutes check and
+    // progress granularity.
+    let chunk = 64;
+    let mut executed = 0usize;
+    let mut violating = Vec::new();
+    let mut records = Vec::new();
+
+    while executed < opts.runs {
+        if let Some(minutes) = opts.max_minutes {
+            if started.elapsed().as_secs_f64() / 60.0 >= minutes {
+                if opts.progress {
+                    eprintln!(
+                        "  time box of {minutes} min reached after {executed}/{} runs",
+                        opts.runs
+                    );
+                }
+                break;
+            }
+        }
+        let batch = chunk.min(opts.runs - executed);
+        let outcomes = soak(
+            opts.seed_start + executed as u64,
+            batch,
+            opts.quick,
+            opts.threads,
+        );
+        executed += batch;
+        for outcome in outcomes {
+            records.push(outcome.record.clone());
+            if !outcome.violations.is_empty() {
+                if opts.progress {
+                    eprintln!(
+                        "  VIOLATION {} ({} finding(s))",
+                        outcome.case.name,
+                        outcome.violations.len()
+                    );
+                }
+                violating.push(outcome);
+            }
+        }
+        if opts.progress {
+            eprintln!(
+                "  [{executed}/{}] {} violating case(s) so far ({:.1}s)",
+                opts.runs,
+                violating.len(),
+                started.elapsed().as_secs_f64()
+            );
+        }
+    }
+
+    if let Some(dir) = &opts.results_dir {
+        std::fs::create_dir_all(dir).expect("create results dir");
+        let path = dir.join("chaos.jsonl");
+        let mut out =
+            std::io::BufWriter::new(std::fs::File::create(&path).expect("create chaos.jsonl"));
+        for record in &records {
+            writeln!(out, "{record}").expect("write record");
+        }
+        out.flush().expect("flush records");
+        if opts.progress {
+            eprintln!("  wrote {} records to {}", records.len(), path.display());
+        }
+    }
+
+    // Shrink each violating case to its minimal reproducer and persist it.
+    for outcome in &violating {
+        let result = shrink(&outcome.case, opts.shrink_budget);
+        let text = result.case.to_text();
+        match &opts.corpus_dir {
+            Some(dir) => {
+                std::fs::create_dir_all(dir).expect("create corpus dir");
+                let path = dir.join(format!("{}.chaos", result.case.name));
+                std::fs::write(&path, &text).expect("write corpus file");
+                println!("reproducer saved: {}", path.display());
+            }
+            None => {
+                println!("--- reproducer {} ---", result.case.name);
+                print!("{text}");
+            }
+        }
+    }
+
+    println!(
+        "chaos run: {executed} case(s), {} violating, {:.1}s",
+        violating.len(),
+        started.elapsed().as_secs_f64()
+    );
+    if violating.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_replay(args: impl Iterator<Item = String>) -> ExitCode {
+    let files: Vec<String> = args.collect();
+    if files.is_empty() {
+        eprintln!("chaos replay: no corpus files given\n{USAGE}");
+        return ExitCode::from(2);
+    }
+    let mut failures = 0usize;
+    for file in &files {
+        match replay_file(file) {
+            Ok(name) => println!("replay OK   {file} ({name})"),
+            Err(msg) => {
+                println!("replay FAIL {file}: {msg}");
+                failures += 1;
+            }
+        }
+    }
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn replay_file(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read: {e}"))?;
+    let case = parse_case(&text)?;
+    let checked = run_case(&case);
+    let got = violation_counts(&checked.violations);
+    if got == case.expect {
+        Ok(case.name)
+    } else {
+        Err(format!(
+            "expected violations {:?}, observed {:?}",
+            case.expect, got
+        ))
+    }
+}
+
+fn cmd_shrink(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let mut file = None;
+    let mut budget = 200usize;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--shrink-budget" => {
+                budget = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--shrink-budget needs a number")
+            }
+            other if file.is_none() => file = Some(other.to_owned()),
+            other => {
+                eprintln!("unexpected argument {other}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(file) = file else {
+        eprintln!("chaos shrink: no corpus file given\n{USAGE}");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(&file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("chaos shrink: read {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let case: ChaosCase = match parse_case(&text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("chaos shrink: parse {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let before = case_size(&case);
+    let result = shrink(&case, budget);
+    if result.case.expect.is_empty() {
+        eprintln!("chaos shrink: {file} does not violate any oracle; nothing to preserve");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "shrink: size {before} -> {} in {} run(s); format {CORPUS_HEADER:?}",
+        case_size(&result.case),
+        result.runs
+    );
+    print!("{}", result.case.to_text());
+    ExitCode::SUCCESS
+}

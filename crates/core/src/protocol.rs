@@ -197,7 +197,18 @@ impl ByzcastNode {
             panic!("invalid byzcast config: {e}");
         }
         assert_eq!(signer.id().0, id.0, "signer must sign as the node's own id");
-        let fds = FailureDetectors::new(config.mute, config.verbose, config.trust);
+        let mut fds = FailureDetectors::new(config.mute, config.verbose, config.trust);
+        // VERBOSE spacing rules, "invoked at initialization time" (paper
+        // §2.2): consecutive gossips or beacons from one node arriving
+        // closer together than 60% of the period are a verbose fault. MAC
+        // backoff jitter is sub-millisecond, so compliant senders sit far
+        // from the rule; a node transmitting at double rate trips it on
+        // every arrival.
+        let spacing = |period: SimDuration| SimDuration::from_micros(period.as_micros() * 3 / 5);
+        fds.verbose
+            .set_min_spacing(MsgKind::Gossip, spacing(config.gossip_period));
+        fds.verbose
+            .set_min_spacing(MsgKind::Beacon, spacing(config.beacon_period));
         // Neighbour entries expire after three missed beacons.
         let table = NeighborTable::new(config.beacon_period.saturating_mul(3));
         let overlay_protocol = config.overlay.build();

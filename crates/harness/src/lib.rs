@@ -16,6 +16,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
+pub mod oracle;
 pub mod par;
 pub mod record;
 pub mod report;
@@ -25,6 +27,8 @@ pub mod summary;
 pub mod sweep;
 pub mod workload;
 
+pub use chaos::{generate_case, parse_case, run_case, shrink, ChaosCase, ShrinkResult};
+pub use oracle::{check_run, eligible_mask, standard_oracles, CheckedRun, Oracle, Violation};
 pub use par::{default_threads, par_map};
 pub use report::Table;
 pub use runner::{run_sweep, PointResult, RunFn, RunOutcome, RunnerConfig, SweepPoint};

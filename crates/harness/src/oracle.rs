@@ -1,0 +1,540 @@
+//! Invariant oracles: machine-checked end-of-run properties of a broadcast
+//! run.
+//!
+//! Each [`Oracle`] inspects a finished run (its metrics, its suspicion
+//! history, the scenario that produced it) and reports [`Violation`]s of one
+//! protocol property. The four standard oracles encode the guarantees the
+//! paper claims:
+//!
+//! * **validity** — every payload delivered at a correct node was actually
+//!   originated (signatures make fabrication impossible, §2.1's "a node
+//!   cannot impersonate another node"), and not before its injection;
+//! * **no-duplication** — no correct node accepts the same `(origin,
+//!   payload)` twice;
+//! * **semi-reliability** — on a static topology, every correct, up,
+//!   connected node eventually accepts every message a correct node sent
+//!   (the paper's semi-reliability property, modulo partitions);
+//! * **fd-accuracy** — no correct node ends the run permanently suspecting
+//!   another correct node (suspicions of correct nodes must be transient).
+//!
+//! Nodes that the fault plan crashes or flips Byzantine are excluded from
+//! the obligations ("eligible" below means correct, never crashed, never
+//! inside a Byzantine window); a deliberately sabotaged node ([`crate::
+//! scenario::ScenarioConfig::sabotage`]) stays eligible on purpose — its
+//! buggy deliveries are exactly what the oracles exist to catch.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use byzcast_fd::interval::SuspicionEpisode;
+use byzcast_sim::{FaultKind, Metrics, NodeId, Position, SimDuration, SimTime};
+
+use crate::scenario::{byz_view, MobilityChoice, ProtocolChoice, ScenarioConfig};
+use crate::summary::RunSummary;
+use crate::workload::Workload;
+
+/// One invariant violation, with enough detail to debug the run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// The violated oracle's name.
+    pub oracle: &'static str,
+    /// Human-readable description of the specific failure.
+    pub detail: String,
+}
+
+/// Everything an oracle may inspect about a finished run.
+pub struct OracleCtx<'a> {
+    /// The scenario that produced the run.
+    pub scenario: &'a ScenarioConfig,
+    /// The workload driven through it.
+    pub workload: &'a Workload,
+    /// The simulator's end-of-run metrics.
+    pub metrics: &'a Metrics,
+    /// The run horizon (when the simulation stopped).
+    pub horizon: SimTime,
+    /// `eligible[i]` iff node `i` is correct, never crashed, and never
+    /// Byzantine-flipped — the nodes the protocol's guarantees cover.
+    pub eligible: Vec<bool>,
+    /// All suspicion episodes observed by byzcast nodes (`None` when the
+    /// protocol under test has no failure detector to audit).
+    pub episodes: Option<Vec<SuspicionEpisode>>,
+}
+
+/// An end-of-run invariant check.
+pub trait Oracle {
+    /// Stable name, used in JSONL records and corpus `expect` lines.
+    fn name(&self) -> &'static str;
+    /// Checks the invariant, returning every violation found.
+    fn check(&self, ctx: &OracleCtx<'_>) -> Vec<Violation>;
+}
+
+/// Nodes covered by the protocol's guarantees: correct per the scenario and
+/// untouched by crash or Byzantine-window fault events.
+pub fn eligible_mask(scenario: &ScenarioConfig) -> Vec<bool> {
+    let mut eligible = scenario.correct_mask();
+    for ev in scenario.fault_plan.events() {
+        match ev.kind {
+            FaultKind::Crash { node, .. } | FaultKind::SetByzantine { node, .. }
+                if node.index() < eligible.len() =>
+            {
+                eligible[node.index()] = false;
+            }
+            _ => {}
+        }
+    }
+    eligible
+}
+
+/// Validity: every delivery at an eligible node corresponds to a recorded
+/// broadcast of the same `(origin, payload)`, no earlier than its injection.
+pub struct Validity;
+
+impl Oracle for Validity {
+    fn name(&self) -> &'static str {
+        "validity"
+    }
+
+    fn check(&self, ctx: &OracleCtx<'_>) -> Vec<Violation> {
+        let origins: BTreeMap<(NodeId, u64), SimTime> = ctx
+            .metrics
+            .broadcasts
+            .iter()
+            .map(|b| ((b.origin, b.payload_id), b.time))
+            .collect();
+        let mut out = Vec::new();
+        for d in &ctx.metrics.deliveries {
+            if !ctx.eligible[d.node.index()] {
+                continue;
+            }
+            match origins.get(&(d.origin, d.payload_id)) {
+                None => out.push(Violation {
+                    oracle: self.name(),
+                    detail: format!(
+                        "node {} delivered payload {} from {} that was never broadcast",
+                        d.node.0, d.payload_id, d.origin.0
+                    ),
+                }),
+                Some(&injected) if d.time < injected => out.push(Violation {
+                    oracle: self.name(),
+                    detail: format!(
+                        "node {} delivered payload {} before its injection",
+                        d.node.0, d.payload_id
+                    ),
+                }),
+                Some(_) => {}
+            }
+        }
+        out
+    }
+}
+
+/// No-duplication: no eligible node delivers the same `(origin, payload)`
+/// more than once.
+pub struct NoDuplication;
+
+impl Oracle for NoDuplication {
+    fn name(&self) -> &'static str {
+        "no-duplication"
+    }
+
+    fn check(&self, ctx: &OracleCtx<'_>) -> Vec<Violation> {
+        let mut counts: BTreeMap<(NodeId, NodeId, u64), u64> = BTreeMap::new();
+        for d in &ctx.metrics.deliveries {
+            if ctx.eligible[d.node.index()] {
+                *counts.entry((d.node, d.origin, d.payload_id)).or_insert(0) += 1;
+            }
+        }
+        counts
+            .into_iter()
+            .filter(|&(_, c)| c > 1)
+            .map(|((node, origin, payload_id), c)| Violation {
+                oracle: self.name(),
+                detail: format!(
+                    "node {} delivered payload {} from {} {c} times",
+                    node.0, payload_id, origin.0
+                ),
+            })
+            .collect()
+    }
+}
+
+/// Semi-reliability: on a static topology, every eligible node reachable
+/// from an eligible origin through eligible nodes accepts the origin's
+/// messages, given enough drain time.
+///
+/// Obligations are skipped when they cannot be sound: mobile runs (the
+/// ground graph changes), broadcasts injected before the last jam window
+/// closed, runs whose jam never closes, broadcasts too close to the
+/// horizon for the gossip-request recovery machinery to finish — and any
+/// run with Byzantine adversaries. The paper's delivery guarantee presumes
+/// enough correct coverage in the dominating set; a mute node that wins the
+/// id-based dominator election legitimately black-holes its neighborhood's
+/// recovery requests (the R4 worst case), so adversary-induced loss is
+/// measured by the experiments, not asserted away here. Crash/restart and
+/// jam fault plans, and sabotaged (locally buggy but non-adversarial)
+/// nodes, remain fully checked.
+///
+/// Obligations run over *certain* links only (within the fading band's
+/// inner radius, where reception is deterministic): a node whose only path
+/// crosses the probabilistic fringe of the radio range may genuinely never
+/// hear a frame, so the nominal disk graph over-approximates reachability.
+pub struct SemiReliability;
+
+/// The radius within which reception is certain (modulo collisions and
+/// background noise): the fading band's inner edge. Connectivity claims
+/// built on longer links are not sound obligations.
+fn certain_radius(scenario: &ScenarioConfig) -> f64 {
+    scenario.sim.radio.range_m * (1.0 - scenario.sim.radio.fading_fraction)
+}
+
+/// Adjacency restricted to certain links.
+fn certain_adjacency(scenario: &ScenarioConfig, positions: &[Position]) -> Vec<Vec<NodeId>> {
+    let r = certain_radius(scenario);
+    (0..positions.len())
+        .map(|i| {
+            (0..positions.len())
+                .filter(|&j| j != i && positions[i].distance(&positions[j]) <= r)
+                .map(|j| NodeId(j as u32))
+                .collect()
+        })
+        .collect()
+}
+
+/// Recovery time granted before an undelivered message counts as lost: the
+/// recovery path pays a gossip (1 s) + request cycle per hop, so allow the
+/// network diameter's worth with slack.
+fn recovery_slack() -> SimDuration {
+    SimDuration::from_secs(12)
+}
+
+impl Oracle for SemiReliability {
+    fn name(&self) -> &'static str {
+        "semi-reliability"
+    }
+
+    fn check(&self, ctx: &OracleCtx<'_>) -> Vec<Violation> {
+        if !matches!(
+            ctx.scenario.mobility,
+            MobilityChoice::Static
+                | MobilityChoice::Grid
+                | MobilityChoice::Line { .. }
+                | MobilityChoice::Explicit(_)
+        ) {
+            return Vec::new();
+        }
+        if !ctx.scenario.adversary_set().is_empty() {
+            return Vec::new();
+        }
+        // Jam windows suppress receptions arbitrarily; only obligations
+        // injected after the last jam lifted are checkable. An unclosed jam
+        // makes every obligation void.
+        let mut jam_starts = BTreeSet::new();
+        let mut jam_ends = BTreeSet::new();
+        let mut last_jam_end = SimTime::ZERO;
+        for ev in ctx.scenario.fault_plan.events() {
+            match ev.kind {
+                FaultKind::JamStart { id, .. } => {
+                    jam_starts.insert(id);
+                }
+                FaultKind::JamEnd { id } => {
+                    jam_ends.insert(id);
+                    last_jam_end = last_jam_end.max(SimTime::ZERO + ev.at);
+                }
+                _ => {}
+            }
+        }
+        if jam_starts.iter().any(|id| !jam_ends.contains(id)) {
+            return Vec::new();
+        }
+
+        let positions = ctx.scenario.initial_positions();
+        let adj = certain_adjacency(ctx.scenario, &positions);
+        let mut out = Vec::new();
+        for b in &ctx.metrics.broadcasts {
+            if !ctx.eligible[b.origin.index()]
+                || b.time < last_jam_end
+                || ctx.horizon.saturating_since(b.time) < recovery_slack()
+            {
+                continue;
+            }
+            let reachable = reachable_from(b.origin, &adj, &ctx.eligible);
+            let delivered: BTreeSet<NodeId> = ctx
+                .metrics
+                .deliveries_of(b.payload_id)
+                .filter(|d| d.origin == b.origin)
+                .map(|d| d.node)
+                .collect();
+            for node in reachable {
+                if !delivered.contains(&node) {
+                    out.push(Violation {
+                        oracle: self.name(),
+                        detail: format!(
+                            "node {} never delivered payload {} from {} despite being \
+                             connected and up",
+                            node.0, b.payload_id, b.origin.0
+                        ),
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// BFS over the adjacency restricted to eligible nodes.
+fn reachable_from(origin: NodeId, adj: &[Vec<NodeId>], eligible: &[bool]) -> Vec<NodeId> {
+    if !eligible[origin.index()] {
+        return Vec::new();
+    }
+    let mut seen = vec![false; adj.len()];
+    seen[origin.index()] = true;
+    let mut queue = vec![origin];
+    let mut order = vec![origin];
+    while let Some(u) = queue.pop() {
+        for &v in &adj[u.index()] {
+            if eligible[v.index()] && !seen[v.index()] {
+                seen[v.index()] = true;
+                queue.push(v);
+                order.push(v);
+            }
+        }
+    }
+    order.sort_by_key(|id| id.0);
+    order
+}
+
+/// FD accuracy: no eligible observer ends the run *permanently* suspecting
+/// an eligible node. Transient suspicions (collision-induced, later
+/// retracted) are the detectors working as designed; an episode still open
+/// at the horizon after a grace period is a permanent false accusation.
+///
+/// Only static runs are checked, and only pairs within the certain radius:
+/// a mobile node that wanders out of range — or a static pair whose link
+/// sits in the probabilistic fading fringe — is *correctly* suspected, and
+/// the retraction can only arrive once a beacon gets through again.
+pub struct FdAccuracy;
+
+/// Suspicions opened this close to the horizon have not had time to be
+/// retracted and are not counted as permanent.
+fn accuracy_grace() -> SimDuration {
+    SimDuration::from_secs(10)
+}
+
+impl Oracle for FdAccuracy {
+    fn name(&self) -> &'static str {
+        "fd-accuracy"
+    }
+
+    fn check(&self, ctx: &OracleCtx<'_>) -> Vec<Violation> {
+        let Some(episodes) = &ctx.episodes else {
+            return Vec::new();
+        };
+        if !matches!(
+            ctx.scenario.mobility,
+            MobilityChoice::Static
+                | MobilityChoice::Grid
+                | MobilityChoice::Line { .. }
+                | MobilityChoice::Explicit(_)
+        ) {
+            return Vec::new();
+        }
+        let positions = ctx.scenario.initial_positions();
+        let certain = certain_radius(ctx.scenario);
+        episodes
+            .iter()
+            .filter(|ep| {
+                ep.end == SimTime::MAX
+                    && ctx.eligible[ep.observer.index()]
+                    && ep.suspect.index() < ctx.eligible.len()
+                    && ctx.eligible[ep.suspect.index()]
+                    && positions[ep.observer.index()].distance(&positions[ep.suspect.index()])
+                        <= certain
+                    && ctx.horizon.saturating_since(ep.start) >= accuracy_grace()
+            })
+            .map(|ep| Violation {
+                oracle: self.name(),
+                detail: format!(
+                    "correct node {} still suspects correct node {} at the horizon \
+                     (since {:.1}s)",
+                    ep.observer.0,
+                    ep.suspect.0,
+                    ep.start.saturating_since(SimTime::ZERO).as_secs_f64()
+                ),
+            })
+            .collect()
+    }
+}
+
+/// The four standard oracles, in stable order.
+pub fn standard_oracles() -> Vec<Box<dyn Oracle + Send + Sync>> {
+    vec![
+        Box::new(Validity),
+        Box::new(NoDuplication),
+        Box::new(SemiReliability),
+        Box::new(FdAccuracy),
+    ]
+}
+
+/// A finished, invariant-checked run.
+#[derive(Clone, Debug)]
+pub struct CheckedRun {
+    /// The usual distilled summary, with [`RunSummary::oracle_outcomes`]
+    /// filled in (and [`RunSummary::faults`] when a fault plan ran).
+    pub summary: RunSummary,
+    /// Every violation, in oracle order.
+    pub violations: Vec<Violation>,
+}
+
+/// Builds the scenario's simulator, drives the workload through it, and
+/// checks every oracle against the finished run.
+///
+/// # Panics
+///
+/// Panics if the scenario selects the multi-overlay baseline (oracles audit
+/// the `WireMsg` protocols).
+pub fn check_run(
+    scenario: &ScenarioConfig,
+    workload: &Workload,
+    oracles: &[Box<dyn Oracle + Send + Sync>],
+) -> CheckedRun {
+    let mut sim = scenario.build_wire_sim();
+    scenario.drive(&mut sim, workload);
+
+    let episodes = if scenario.protocol == ProtocolChoice::Byzcast {
+        let mut all = Vec::new();
+        for i in 0..scenario.n as u32 {
+            if let Some(node) = byz_view(&sim, NodeId(i)) {
+                all.extend_from_slice(node.suspicion_log().episodes());
+            }
+        }
+        Some(all)
+    } else {
+        None
+    };
+
+    let ctx = OracleCtx {
+        scenario,
+        workload,
+        metrics: sim.metrics(),
+        horizon: SimTime::ZERO + workload.horizon(),
+        eligible: eligible_mask(scenario),
+        episodes,
+    };
+    let mut violations = Vec::new();
+    let mut outcomes = Vec::new();
+    for oracle in oracles {
+        let found = oracle.check(&ctx);
+        outcomes.push((oracle.name().to_owned(), found.len() as u64));
+        violations.extend(found);
+    }
+
+    let mut summary = scenario.summarize_wire(&sim);
+    summary.oracle_outcomes = outcomes;
+    CheckedRun {
+        summary,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use byzcast_adversary::SabotageKind;
+    use byzcast_sim::{Field, SimConfig};
+
+    fn scenario(n: usize) -> ScenarioConfig {
+        ScenarioConfig {
+            seed: 11,
+            n,
+            sim: SimConfig {
+                field: Field::new(500.0, 500.0),
+                ..SimConfig::default()
+            },
+            ..ScenarioConfig::default()
+        }
+    }
+
+    fn workload() -> Workload {
+        Workload {
+            count: 3,
+            start: SimDuration::from_secs(4),
+            interval: SimDuration::from_secs(1),
+            drain: SimDuration::from_secs(15),
+            ..Workload::default()
+        }
+    }
+
+    #[test]
+    fn clean_run_passes_every_oracle() {
+        let checked = check_run(&scenario(25), &workload(), &standard_oracles());
+        assert!(
+            checked.violations.is_empty(),
+            "unexpected violations: {:?}",
+            checked.violations
+        );
+        assert_eq!(checked.summary.oracle_outcomes.len(), 4);
+        assert!(checked.summary.oracle_outcomes.iter().all(|(_, c)| *c == 0));
+    }
+
+    #[test]
+    fn double_deliver_sabotage_trips_no_duplication() {
+        let s = ScenarioConfig {
+            sabotage: Some((NodeId(3), SabotageKind::DoubleDeliver)),
+            ..scenario(25)
+        };
+        let checked = check_run(&s, &workload(), &standard_oracles());
+        assert!(
+            checked
+                .violations
+                .iter()
+                .any(|v| v.oracle == "no-duplication"),
+            "sabotage went undetected: {:?}",
+            checked.violations
+        );
+    }
+
+    #[test]
+    fn phantom_deliver_sabotage_trips_validity() {
+        let s = ScenarioConfig {
+            sabotage: Some((NodeId(3), SabotageKind::PhantomDeliver)),
+            ..scenario(25)
+        };
+        let checked = check_run(&s, &workload(), &standard_oracles());
+        assert!(
+            checked.violations.iter().any(|v| v.oracle == "validity"),
+            "phantom delivery went undetected: {:?}",
+            checked.violations
+        );
+    }
+
+    #[test]
+    fn drop_deliver_sabotage_trips_semi_reliability() {
+        let s = ScenarioConfig {
+            sabotage: Some((NodeId(3), SabotageKind::DropDeliver)),
+            ..scenario(25)
+        };
+        let checked = check_run(&s, &workload(), &standard_oracles());
+        assert!(
+            checked
+                .violations
+                .iter()
+                .any(|v| v.oracle == "semi-reliability"),
+            "dropped deliveries went undetected: {:?}",
+            checked.violations
+        );
+    }
+
+    #[test]
+    fn crashed_nodes_are_not_obligated() {
+        let mut s = scenario(25);
+        s.fault_plan.push(
+            SimDuration::from_secs(2),
+            FaultKind::Crash {
+                node: NodeId(5),
+                retain_state: false,
+            },
+        );
+        let eligible = eligible_mask(&s);
+        assert!(!eligible[5]);
+        assert!(eligible[4]);
+    }
+}

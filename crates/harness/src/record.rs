@@ -186,6 +186,28 @@ pub fn run_record(
         }
         o.raw("frames_by_kind", &ko.finish());
     }
+    if let Some(f) = &summary.faults {
+        let mut fo = JsonObject::new();
+        fo.u64("crashes", f.crashes)
+            .u64("restarts", f.restarts)
+            .u64("byz_activations", f.byz_activations)
+            .u64("byz_deactivations", f.byz_deactivations)
+            .u64("jam_starts", f.jam_starts)
+            .u64("jam_ends", f.jam_ends)
+            .u64("jam_losses", f.jam_losses)
+            .u64("injections_dropped", f.injections_dropped);
+        o.raw("faults", &fo.finish());
+    }
+    if !summary.oracle_outcomes.is_empty() {
+        let mut oo = JsonObject::new();
+        let mut total = 0u64;
+        for (oracle, count) in &summary.oracle_outcomes {
+            oo.u64(oracle, *count);
+            total += count;
+        }
+        o.raw("oracles", &oo.finish());
+        o.u64("violations", total);
+    }
     for (name, value) in extras {
         o.f64(name, *value);
     }

@@ -4,8 +4,8 @@ use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use byzcast_adversary::{
-    ForgerNode, GossipLiarNode, ImpersonatorNode, MuteNode, MutePolicy, SelectiveForwarder,
-    SilentNode, VerboseNode,
+    FlapBehavior, FlappingNode, ForgerNode, GossipLiarNode, ImpersonatorNode, MuteNode, MutePolicy,
+    SabotageKind, SabotagedNode, SelectiveForwarder, SilentNode, VerboseNode,
 };
 use byzcast_baselines::{plan_overlays, FloodingNode, MoMsg, MultiOverlayNode};
 use byzcast_core::message::WireMsg;
@@ -13,8 +13,8 @@ use byzcast_core::{ByzcastConfig, ByzcastNode};
 use byzcast_crypto::{CachingVerifier, KeyRegistry, SignerId, SimScheme, Verifier};
 use byzcast_overlay::analysis::connected_correct_cover;
 use byzcast_sim::{
-    BoxedProtocol, MobilityModel, NodeId, Position, RandomWalk, RandomWaypoint, SimBuilder,
-    SimConfig, SimDuration, SimRng, Simulator, StaticPlacement,
+    BoxedProtocol, FaultPlan, MobilityModel, NodeId, Position, RandomWalk, RandomWaypoint,
+    SimBuilder, SimConfig, SimDuration, SimRng, Simulator, StaticPlacement,
 };
 
 use crate::summary::RunSummary;
@@ -116,6 +116,9 @@ pub enum AdversaryKind {
         /// The framed node.
         victim: NodeId,
     },
+    /// Correct until the fault plan's `SetByzantine` windows flip it (the
+    /// worst case for the MUTE/TRUST detectors).
+    Flapping(FlapBehavior),
 }
 
 /// A full experiment scenario.
@@ -140,6 +143,17 @@ pub struct ScenarioConfig {
     pub adversary_count: usize,
     /// Explicit adversary ids (overrides `adversary_count` selection).
     pub adversary_ids: Option<Vec<NodeId>>,
+    /// Per-node adversary assignments for mixed-adversary runs, unioned
+    /// with the single-kind selection above (assignments win on overlap).
+    pub adversary_assignments: Vec<(NodeId, AdversaryKind)>,
+    /// Timed fault events (crashes, restarts, Byzantine windows, jamming)
+    /// executed through the deterministic event queue. Empty by default; an
+    /// empty plan changes nothing, bit for bit.
+    pub fault_plan: FaultPlan,
+    /// A deliberately broken "correct" node — a test instrument proving the
+    /// chaos oracles catch real protocol bugs. The node stays in the
+    /// *correct* mask on purpose: its buggy deliveries must trip invariants.
+    pub sabotage: Option<(NodeId, SabotageKind)>,
 }
 
 impl Default for ScenarioConfig {
@@ -154,15 +168,18 @@ impl Default for ScenarioConfig {
             adversary: None,
             adversary_count: 0,
             adversary_ids: None,
+            adversary_assignments: Vec::new(),
+            fault_plan: FaultPlan::new(),
+            sabotage: None,
         }
     }
 }
 
 impl ScenarioConfig {
-    /// The adversarial node ids for this scenario. When not given
+    /// The ids covered by the legacy single-kind selection. When not given
     /// explicitly, the *highest* ids are chosen — these win the id-based
     /// overlay election, which is the worst case for the protocol.
-    pub fn adversary_set(&self) -> BTreeSet<NodeId> {
+    fn single_kind_set(&self) -> BTreeSet<NodeId> {
         if self.adversary.is_none() {
             return BTreeSet::new();
         }
@@ -174,6 +191,30 @@ impl ScenarioConfig {
                 .map(NodeId)
                 .collect(),
         }
+    }
+
+    /// The adversarial node ids for this scenario: the single-kind selection
+    /// unioned with the per-node assignments.
+    pub fn adversary_set(&self) -> BTreeSet<NodeId> {
+        let mut set = self.single_kind_set();
+        set.extend(self.adversary_assignments.iter().map(|&(id, _)| id));
+        set
+    }
+
+    /// The behaviour assigned to `id`, if it is adversarial. Per-node
+    /// assignments take precedence over the single-kind selection.
+    pub fn adversary_kind_of(&self, id: NodeId) -> Option<&AdversaryKind> {
+        self.adversary_assignments
+            .iter()
+            .find(|&&(a, _)| a == id)
+            .map(|(_, k)| k)
+            .or_else(|| {
+                if self.single_kind_set().contains(&id) {
+                    self.adversary.as_ref()
+                } else {
+                    None
+                }
+            })
     }
 
     /// The correctness mask: `mask[i]` iff node `i` is correct.
@@ -267,86 +308,30 @@ impl ScenarioConfig {
             "multi-overlay runs use MoMsg; use run() instead"
         );
         let positions = self.initial_positions();
-        let adv = self.adversary_set();
         let keys: KeyRegistry<SimScheme> = KeyRegistry::generate(self.seed, self.n as u32);
         let verifier = self.make_verifier(&keys);
-        let make_verifier = || Arc::clone(&verifier);
-        let flooding = self.protocol == ProtocolChoice::Flooding;
-
-        let make_correct = |id: NodeId| -> BoxedProtocol<WireMsg> {
-            if flooding {
-                Box::new(FloodingNode::new(
-                    id,
-                    Box::new(keys.signer(SignerId(id.0))),
-                    make_verifier(),
-                ))
-            } else {
-                Box::new(ByzcastNode::new(
-                    id,
-                    self.byzcast.clone(),
-                    Box::new(keys.signer(SignerId(id.0))),
-                    make_verifier(),
-                ))
-            }
-        };
-        let make_byz_inner = |id: NodeId| -> ByzcastNode {
-            ByzcastNode::new(
-                id,
-                self.byzcast.clone(),
-                Box::new(keys.signer(SignerId(id.0))),
-                make_verifier(),
-            )
+        let factory = WireNodeFactory {
+            flooding: self.protocol == ProtocolChoice::Flooding,
+            byzcast: self.byzcast.clone(),
+            keys,
+            verifier,
+            kinds: (0..self.n as u32)
+                .map(|i| self.adversary_kind_of(NodeId(i)).cloned())
+                .collect(),
+            sabotage: self.sabotage,
         };
 
-        let sim = SimBuilder::new(self.sim_config())
+        let mut builder = SimBuilder::new(self.sim_config())
             .with_mobility(self.mobility.build())
-            .with_positions(positions.clone())
-            .with_nodes(self.n, |id| {
-                if !adv.contains(&id) {
-                    return make_correct(id);
-                }
-                match self.adversary.as_ref().expect("adversary set non-empty") {
-                    AdversaryKind::Silent => {
-                        if flooding {
-                            Box::new(SilentNode::new(FloodingNode::new(
-                                id,
-                                Box::new(keys.signer(SignerId(id.0))),
-                                make_verifier(),
-                            )))
-                        } else {
-                            Box::new(SilentNode::new(make_byz_inner(id)))
-                        }
-                    }
-                    // The remaining adversaries are byzcast-protocol-aware;
-                    // against flooding they degrade to silence.
-                    _ if flooding => Box::new(SilentNode::new(FloodingNode::new(
-                        id,
-                        Box::new(keys.signer(SignerId(id.0))),
-                        make_verifier(),
-                    ))),
-                    AdversaryKind::Mute(policy) => {
-                        Box::new(MuteNode::new(make_byz_inner(id), *policy))
-                    }
-                    AdversaryKind::Forger => Box::new(ForgerNode::new(make_byz_inner(id))),
-                    AdversaryKind::Verbose { period, per_tick } => {
-                        Box::new(VerboseNode::new(make_byz_inner(id), *period, *per_tick))
-                    }
-                    AdversaryKind::GossipLiar => Box::new(GossipLiarNode::new(
-                        Box::new(keys.signer(SignerId(id.0))),
-                        SimDuration::from_millis(500),
-                    )),
-                    AdversaryKind::SelectiveForwarder(victims) => {
-                        Box::new(SelectiveForwarder::new(make_byz_inner(id), victims.clone()))
-                    }
-                    AdversaryKind::Impersonator { victim } => Box::new(ImpersonatorNode::new(
-                        id,
-                        *victim,
-                        SimDuration::from_secs(1),
-                    )),
-                }
-            })
-            .build();
-        sim
+            .with_positions(positions)
+            .with_nodes(self.n, |id| factory.make(id))
+            .with_fault_plan(self.fault_plan.clone());
+        if !self.fault_plan.is_empty() {
+            // The same factory rebuilds nodes after state-losing restarts,
+            // so a restarted node is indistinguishable from a fresh one.
+            builder = builder.with_restart_factory(Box::new(move |id| factory.make(id)));
+        }
+        builder.build()
     }
 
     /// Summarizes a finished `WireMsg` run (byzcast extras included when the
@@ -356,6 +341,9 @@ impl ScenarioConfig {
         let mut summary = RunSummary::from_metrics(self.protocol_label(), sim.metrics(), &correct);
         if self.protocol != ProtocolChoice::Flooding {
             self.fill_byzcast_stats(sim, &correct, &mut summary);
+        }
+        if !self.fault_plan.is_empty() {
+            summary.faults = Some(sim.metrics().faults.clone());
         }
         summary
     }
@@ -368,30 +356,40 @@ impl ScenarioConfig {
         let keys: KeyRegistry<SimScheme> = KeyRegistry::generate(self.seed, self.n as u32);
         let verifier = self.make_verifier(&keys);
 
-        let mut sim = SimBuilder::new(self.sim_config())
+        let make = move |id: NodeId| -> BoxedProtocol<MoMsg> {
+            let node = MultiOverlayNode::new(
+                id,
+                memberships[id.index()].clone(),
+                Box::new(keys.signer(SignerId(id.0))),
+                Arc::clone(&verifier),
+            );
+            if adv.contains(&id) {
+                // Against the baseline, every adversary model reduces to
+                // refusing to relay (the baseline has no gossip to lie
+                // about and forged frames are dropped on signature).
+                Box::new(SilentNode::new(node))
+            } else {
+                Box::new(node)
+            }
+        };
+
+        let mut builder = SimBuilder::new(self.sim_config())
             .with_mobility(self.mobility.build())
             .with_positions(positions)
-            .with_nodes(self.n, |id| -> BoxedProtocol<MoMsg> {
-                let node = MultiOverlayNode::new(
-                    id,
-                    memberships[id.index()].clone(),
-                    Box::new(keys.signer(SignerId(id.0))),
-                    Arc::clone(&verifier),
-                );
-                if adv.contains(&id) {
-                    // Against the baseline, every adversary model reduces to
-                    // refusing to relay (the baseline has no gossip to lie
-                    // about and forged frames are dropped on signature).
-                    Box::new(SilentNode::new(node))
-                } else {
-                    Box::new(node)
-                }
-            })
-            .build();
+            .with_nodes(self.n, &make)
+            .with_fault_plan(self.fault_plan.clone());
+        if !self.fault_plan.is_empty() {
+            builder = builder.with_restart_factory(Box::new(make));
+        }
+        let mut sim = builder.build();
 
         self.drive(&mut sim, workload);
         let correct = self.correct_mask();
-        RunSummary::from_metrics(self.protocol_label(), sim.metrics(), &correct)
+        let mut summary = RunSummary::from_metrics(self.protocol_label(), sim.metrics(), &correct);
+        if !self.fault_plan.is_empty() {
+            summary.faults = Some(sim.metrics().faults.clone());
+        }
+        summary
     }
 
     /// Schedules the workload and runs the simulation to its horizon.
@@ -464,6 +462,90 @@ impl ScenarioConfig {
     }
 }
 
+/// Builds one node's protocol stack for a `WireMsg` run: the correct
+/// protocol, an adversary wrapper, or a sabotaged instrument, per the
+/// scenario's assignments. Owns everything it needs (`KeyRegistry` is
+/// cheaply cloneable, the verifier is shared behind an `Arc`), so the same
+/// factory serves both initial construction and post-crash restarts.
+struct WireNodeFactory {
+    flooding: bool,
+    byzcast: ByzcastConfig,
+    keys: KeyRegistry<SimScheme>,
+    verifier: Arc<dyn Verifier + Send + Sync>,
+    kinds: Vec<Option<AdversaryKind>>,
+    sabotage: Option<(NodeId, SabotageKind)>,
+}
+
+impl WireNodeFactory {
+    fn make_byz(&self, id: NodeId) -> ByzcastNode {
+        ByzcastNode::new(
+            id,
+            self.byzcast.clone(),
+            Box::new(self.keys.signer(SignerId(id.0))),
+            Arc::clone(&self.verifier),
+        )
+    }
+
+    fn make_silent_flooder(&self, id: NodeId) -> BoxedProtocol<WireMsg> {
+        Box::new(SilentNode::new(FloodingNode::new(
+            id,
+            Box::new(self.keys.signer(SignerId(id.0))),
+            Arc::clone(&self.verifier),
+        )))
+    }
+
+    fn make(&self, id: NodeId) -> BoxedProtocol<WireMsg> {
+        let Some(kind) = &self.kinds[id.index()] else {
+            if let Some((sab_id, sab_kind)) = self.sabotage {
+                if sab_id == id {
+                    return Box::new(SabotagedNode::new(self.make_byz(id), sab_kind));
+                }
+            }
+            return if self.flooding {
+                Box::new(FloodingNode::new(
+                    id,
+                    Box::new(self.keys.signer(SignerId(id.0))),
+                    Arc::clone(&self.verifier),
+                ))
+            } else {
+                Box::new(self.make_byz(id))
+            };
+        };
+        match kind {
+            AdversaryKind::Silent => {
+                if self.flooding {
+                    self.make_silent_flooder(id)
+                } else {
+                    Box::new(SilentNode::new(self.make_byz(id)))
+                }
+            }
+            // The remaining adversaries are byzcast-protocol-aware; against
+            // flooding they degrade to silence.
+            _ if self.flooding => self.make_silent_flooder(id),
+            AdversaryKind::Mute(policy) => Box::new(MuteNode::new(self.make_byz(id), *policy)),
+            AdversaryKind::Forger => Box::new(ForgerNode::new(self.make_byz(id))),
+            AdversaryKind::Verbose { period, per_tick } => {
+                Box::new(VerboseNode::new(self.make_byz(id), *period, *per_tick))
+            }
+            AdversaryKind::GossipLiar => Box::new(GossipLiarNode::new(
+                Box::new(self.keys.signer(SignerId(id.0))),
+                SimDuration::from_millis(500),
+            )),
+            AdversaryKind::SelectiveForwarder(victims) => {
+                Box::new(SelectiveForwarder::new(self.make_byz(id), victims.clone()))
+            }
+            AdversaryKind::Impersonator { victim } => Box::new(ImpersonatorNode::new(
+                id,
+                *victim,
+                SimDuration::from_secs(1),
+            )),
+            AdversaryKind::Flapping(behavior) => {
+                Box::new(FlappingNode::new(self.make_byz(id), *behavior))
+            }
+        }
+    }
+}
+
 /// Builds the paper's Figure-5 worst case — "all nodes that belong to the
 /// overlay are Byzantine and therefore all messages will be disseminated
 /// using the gossip-request mechanism" — as a concrete scenario:
@@ -521,6 +603,12 @@ pub fn byz_view(sim: &Simulator<WireMsg>, id: NodeId) -> Option<&ByzcastNode> {
         return Some(w.inner());
     }
     if let Some(w) = sim.protocol::<SilentNode<ByzcastNode>>(id) {
+        return Some(w.inner());
+    }
+    if let Some(w) = sim.protocol::<FlappingNode>(id) {
+        return Some(w.inner());
+    }
+    if let Some(w) = sim.protocol::<SabotagedNode>(id) {
         return Some(w.inner());
     }
     None

@@ -3,7 +3,7 @@
 use std::collections::BTreeSet;
 
 use byzcast_core::ProtocolCounters;
-use byzcast_sim::{Metrics, NodeId};
+use byzcast_sim::{FaultStats, Metrics, NodeId};
 
 /// The distilled result of one simulation run — the quantities the paper's
 /// evaluation plots.
@@ -68,6 +68,13 @@ pub struct RunSummary {
     pub counters: Option<ProtocolCounters>,
     /// Frames and bytes sent per wire-message kind, sorted by kind.
     pub frame_kinds: Vec<(String, u64, u64)>,
+    /// Executed fault-plan counters (`None` when the run had no fault plan,
+    /// keeping fault-free records byte-identical to before the layer
+    /// existed).
+    pub faults: Option<FaultStats>,
+    /// Per-oracle violation counts from an invariant-checked run, in oracle
+    /// order (empty when no oracles ran).
+    pub oracle_outcomes: Vec<(String, u64)>,
 }
 
 impl RunSummary {

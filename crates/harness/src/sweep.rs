@@ -124,7 +124,55 @@ pub fn aggregate(summaries: &[RunSummary]) -> RunSummary {
         latencies_s: pooled,
         counters: mean_counters(summaries),
         frame_kinds: mean_frame_kinds(summaries),
+        faults: sum_faults(summaries),
+        oracle_outcomes: sum_oracle_outcomes(summaries),
     }
+}
+
+/// Total fault-event counts over the replicas, present only when every
+/// replica ran a fault plan (totals, not means: "how many crashes did this
+/// point survive" is the meaningful aggregate).
+fn sum_faults(summaries: &[RunSummary]) -> Option<byzcast_sim::FaultStats> {
+    let mut total = byzcast_sim::FaultStats::default();
+    for s in summaries {
+        let f = s.faults.as_ref()?;
+        total.crashes += f.crashes;
+        total.restarts += f.restarts;
+        total.byz_activations += f.byz_activations;
+        total.byz_deactivations += f.byz_deactivations;
+        total.jam_starts += f.jam_starts;
+        total.jam_ends += f.jam_ends;
+        total.jam_losses += f.jam_losses;
+        total.injections_dropped += f.injections_dropped;
+    }
+    Some(total)
+}
+
+/// Per-oracle violation totals, present only when every replica ran the
+/// same oracle suite (in the same order).
+fn sum_oracle_outcomes(summaries: &[RunSummary]) -> Vec<(String, u64)> {
+    let first = &summaries[0].oracle_outcomes;
+    if first.is_empty()
+        || !summaries.iter().all(|s| {
+            s.oracle_outcomes.len() == first.len()
+                && s.oracle_outcomes
+                    .iter()
+                    .zip(first)
+                    .all(|((a, _), (b, _))| a == b)
+        })
+    {
+        return Vec::new();
+    }
+    first
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| {
+            (
+                name.clone(),
+                summaries.iter().map(|s| s.oracle_outcomes[i].1).sum(),
+            )
+        })
+        .collect()
 }
 
 /// Field-wise mean of the protocol counters, present only when every

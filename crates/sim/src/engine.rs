@@ -19,6 +19,7 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 use crate::event::{EventKind, EventQueue};
+use crate::fault::{FaultEvent, FaultKind, FaultPlan};
 use crate::geometry::{Field, Position};
 use crate::mac::{MacConfig, MacState};
 use crate::metrics::{BroadcastRecord, DeliveryRecord, Metrics};
@@ -91,6 +92,10 @@ impl<T: Protocol + 'static> DynProtocol for T {
 /// A boxed, downcastable protocol instance.
 pub type BoxedProtocol<M> = Box<dyn DynProtocol<Msg = M>>;
 
+/// Rebuilds a node's protocol after a restart that lost state
+/// (see [`SimBuilder::with_restart_factory`]).
+pub type RestartFactory<M> = Box<dyn FnMut(NodeId) -> BoxedProtocol<M>>;
+
 /// An in-flight (or recently finished) radio transmission.
 ///
 /// The payload lives behind an [`Arc`] so resolving receivers never clones
@@ -112,6 +117,8 @@ pub struct SimBuilder<M: Message> {
     mobility: Box<dyn MobilityModel>,
     explicit_positions: Option<Vec<Position>>,
     factories: Vec<BoxedProtocol<M>>,
+    fault_plan: FaultPlan,
+    restart_factory: Option<RestartFactory<M>>,
 }
 
 impl<M: Message> SimBuilder<M> {
@@ -122,7 +129,24 @@ impl<M: Message> SimBuilder<M> {
             mobility: Box::new(StaticPlacement::UniformRandom),
             explicit_positions: None,
             factories: Vec::new(),
+            fault_plan: FaultPlan::new(),
+            restart_factory: None,
         }
+    }
+
+    /// Injects the faults in `plan` during the run. An empty plan (the
+    /// default) schedules nothing and leaves the run bit-identical to one
+    /// built without a plan.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Provides the factory used to rebuild a node's protocol when a
+    /// [`FaultKind::Restart`] follows a crash that did not retain state.
+    pub fn with_restart_factory(mut self, factory: RestartFactory<M>) -> Self {
+        self.restart_factory = Some(factory);
+        self
     }
 
     /// Uses `model` to place and move nodes.
@@ -173,6 +197,9 @@ impl<M: Message> SimBuilder<M> {
         }
         let n = self.factories.len();
         assert!(n > 0, "simulation needs at least one node");
+        if let Err(e) = self.fault_plan.validate(n) {
+            panic!("invalid fault plan: {e}");
+        }
 
         let mut master = SimRng::new(self.config.seed);
         let mut placement_rng = master.fork(0x504c4143); // "PLAC"
@@ -203,6 +230,10 @@ impl<M: Message> SimBuilder<M> {
                 EventKind::MobilityTick,
             );
         }
+        let fault_events = self.fault_plan.sorted_events();
+        for (index, ev) in fault_events.iter().enumerate() {
+            queue.push(SimTime::ZERO + ev.at, EventKind::Fault { index });
+        }
 
         let radio = RadioModel::new(self.config.radio);
         let audible_radius = radio.audible_radius();
@@ -224,6 +255,11 @@ impl<M: Message> SimBuilder<M> {
             metrics: Metrics::new(n),
             timers: vec![Vec::new(); n],
             mac: (0..n).map(|_| MacState::default()).collect(),
+            fault_events,
+            restart_factory: self.restart_factory,
+            up: vec![true; n],
+            state_lost: vec![false; n],
+            active_jams: Vec::new(),
             nodes: self.factories,
             node_rngs,
             positions,
@@ -264,6 +300,21 @@ pub struct Simulator<M: Message> {
     /// access is a point lookup by key).
     timers: Vec<Vec<(TimerKey, SimTime)>>,
     mac: Vec<MacState<M>>,
+    /// The fault plan's events, sorted by firing time; `EventKind::Fault`
+    /// carries an index into this list. Empty when no plan was given.
+    fault_events: Vec<FaultEvent>,
+    /// Rebuilds a node's protocol after a restart without retained state.
+    restart_factory: Option<RestartFactory<M>>,
+    /// Whether each node is up (crashed nodes neither run callbacks nor
+    /// touch the radio). All `true` when no fault plan is in effect.
+    up: Vec<bool>,
+    /// Whether a crash discarded the node's protocol state, so the next
+    /// restart must rebuild it through `restart_factory`.
+    state_lost: Vec<bool>,
+    /// Currently active jam regions: `(id, center, radius_m, loss)`.
+    /// Empty whenever no jam window is open — the hot reception path only
+    /// pays for jamming while this is non-empty.
+    active_jams: Vec<(u32, Position, f64, f64)>,
     /// In-flight (and recently finished) transmissions, sorted by id
     /// (ids are assigned monotonically and pruning preserves order).
     active_tx: Vec<Transmission<M>>,
@@ -317,6 +368,11 @@ impl<M: Message + 'static> Simulator<M> {
     /// Current position of `node`.
     pub fn position(&self, node: NodeId) -> Position {
         self.positions[node.index()]
+    }
+
+    /// Whether `node` is up (not crashed by the fault plan).
+    pub fn is_up(&self, node: NodeId) -> bool {
+        self.up[node.index()]
     }
 
     /// Current positions of all nodes, indexed by id.
@@ -428,6 +484,13 @@ impl<M: Message + 'static> Simulator<M> {
                 // Otherwise the timer was re-armed or cancelled: stale, skip.
             }
             EventKind::AppBroadcast { node, payload } => {
+                if !self.up[node.index()] {
+                    // The application cannot hand a payload to a crashed
+                    // node; the broadcast never happened, so it must not
+                    // count against delivery ratios either.
+                    self.metrics.faults.injections_dropped += 1;
+                    return;
+                }
                 self.metrics.broadcasts.push(BroadcastRecord {
                     origin: node,
                     payload_id: payload.id,
@@ -451,7 +514,114 @@ impl<M: Message + 'static> Simulator<M> {
                 }
                 self.queue.push(self.now + tick, EventKind::MobilityTick);
             }
+            EventKind::Fault { index } => self.handle_fault(index),
         }
+    }
+
+    fn handle_fault(&mut self, index: usize) {
+        match self.fault_events[index].kind {
+            FaultKind::Crash { node, retain_state } => {
+                let i = node.index();
+                if !self.up[i] {
+                    return; // already down
+                }
+                self.up[i] = false;
+                if !retain_state {
+                    self.state_lost[i] = true;
+                }
+                // Pending timers and queued frames die with the node. An
+                // in-flight transmission still completes: the energy is
+                // already on the air.
+                self.timers[i].clear();
+                self.mac[i] = MacState::default();
+                self.metrics.faults.crashes += 1;
+                self.trace.record(
+                    self.now,
+                    TraceEvent::Fault {
+                        node: Some(node),
+                        label: "crash",
+                    },
+                );
+            }
+            FaultKind::Restart { node } => {
+                let i = node.index();
+                if self.up[i] {
+                    return; // already up
+                }
+                if self.state_lost[i] {
+                    let factory = self
+                        .restart_factory
+                        .as_mut()
+                        .expect("restart after a state-losing crash requires a restart factory");
+                    self.nodes[i] = factory(node);
+                    self.state_lost[i] = false;
+                }
+                self.up[i] = true;
+                self.metrics.faults.restarts += 1;
+                self.trace.record(
+                    self.now,
+                    TraceEvent::Fault {
+                        node: Some(node),
+                        label: "restart",
+                    },
+                );
+                self.dispatch(node, |p, ctx| p.on_start(ctx));
+            }
+            FaultKind::SetByzantine { node, active } => {
+                if active {
+                    self.metrics.faults.byz_activations += 1;
+                } else {
+                    self.metrics.faults.byz_deactivations += 1;
+                }
+                self.trace.record(
+                    self.now,
+                    TraceEvent::Fault {
+                        node: Some(node),
+                        label: if active { "byz-on" } else { "byz-off" },
+                    },
+                );
+                self.dispatch(node, |p, ctx| p.on_byzantine(ctx, active));
+            }
+            FaultKind::JamStart {
+                id,
+                center,
+                radius_m,
+                loss,
+            } => {
+                self.active_jams.push((id, center, radius_m, loss));
+                self.metrics.faults.jam_starts += 1;
+                self.trace.record(
+                    self.now,
+                    TraceEvent::Fault {
+                        node: None,
+                        label: "jam-start",
+                    },
+                );
+            }
+            FaultKind::JamEnd { id } => {
+                self.active_jams.retain(|&(jid, _, _, _)| jid != id);
+                self.metrics.faults.jam_ends += 1;
+                self.trace.record(
+                    self.now,
+                    TraceEvent::Fault {
+                        node: None,
+                        label: "jam-end",
+                    },
+                );
+            }
+        }
+    }
+
+    /// Extra loss probability from active jam regions at `pos` (the worst
+    /// overlapping region wins; regions do not stack).
+    fn jam_loss_at(&self, pos: &Position) -> f64 {
+        let mut worst = 0.0f64;
+        for &(_, center, radius_m, loss) in &self.active_jams {
+            if center.distance_squared(pos) <= radius_m * radius_m {
+                worst = worst.max(loss);
+            }
+        }
+        worst
     }
 
     /// Runs a protocol callback and applies the actions it produced.
@@ -461,6 +631,9 @@ impl<M: Message + 'static> Simulator<M> {
         f: impl FnOnce(&mut dyn DynProtocol<Msg = M>, &mut Context<'_, M>),
     ) {
         let i = node.index();
+        if !self.up[i] {
+            return; // crashed nodes run no callbacks
+        }
         let mut actions = std::mem::take(&mut self.actions_buf);
         actions.clear();
         {
@@ -686,6 +859,9 @@ impl<M: Message + 'static> Simulator<M> {
             if q == src {
                 continue;
             }
+            if !self.up[qi] {
+                continue; // crashed receivers hear nothing (no RNG draws)
+            }
             let q_pos = self.positions[qi];
             if !self.radio.audible(&src_pos, &q_pos) {
                 continue;
@@ -742,6 +918,16 @@ impl<M: Message + 'static> Simulator<M> {
             if !received {
                 self.metrics.record_noise_loss();
                 continue;
+            }
+            // Jamming: one extra Bernoulli draw per surviving reception,
+            // only while a jam window is open, so fault-free runs consume
+            // bit-identical RNG streams.
+            if !self.active_jams.is_empty() {
+                let jam_loss = self.jam_loss_at(&q_pos);
+                if jam_loss > 0.0 && self.node_rngs[qi].gen_bool(jam_loss) {
+                    self.metrics.faults.jam_losses += 1;
+                    continue;
+                }
             }
             self.metrics.record_reception(q);
             self.trace.record(
@@ -802,7 +988,7 @@ mod tests {
 
     /// Delivers + floods everything exactly once.
     pub(super) struct Flooder {
-        seen: HashSet<u64>,
+        pub(super) seen: HashSet<u64>,
     }
     impl Flooder {
         pub(super) fn boxed(_: NodeId) -> BoxedProtocol<TestMsg> {
@@ -1187,6 +1373,7 @@ mod more_tests {
                 TraceEvent::Deliver { .. } => "deliver",
                 TraceEvent::Note { .. } => "note",
                 TraceEvent::Collision { .. } => "collision",
+                TraceEvent::Fault { .. } => "fault",
             })
             .collect();
         assert_eq!(kinds, vec!["tx", "rx", "deliver", "note"]);
@@ -1359,6 +1546,310 @@ mod spatial_differential_tests {
             );
             assert_eq!(naive, indexed, "seed {seed} diverged");
         }
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::tests::Flooder;
+    use super::*;
+    use crate::mobility::RandomWaypoint;
+
+    fn pair_config() -> SimConfig {
+        SimConfig {
+            radio: RadioConfig::ideal_disk(150.0),
+            field: Field::new(1000.0, 100.0),
+            ..SimConfig::default()
+        }
+    }
+
+    fn pair_positions() -> Vec<Position> {
+        vec![Position::new(0.0, 50.0), Position::new(100.0, 50.0)]
+    }
+
+    #[test]
+    fn crashed_node_neither_receives_nor_delivers() {
+        let plan = FaultPlan::new().crash(SimDuration::from_millis(500), NodeId(1), true);
+        let mut sim = SimBuilder::new(pair_config())
+            .with_positions(pair_positions())
+            .with_nodes(2, Flooder::boxed)
+            .with_fault_plan(plan)
+            .build();
+        sim.schedule_app_broadcast(SimDuration::from_secs(1), NodeId(0), 1, 64);
+        sim.run_for(SimDuration::from_secs(2));
+        assert!(!sim.is_up(NodeId(1)));
+        let m = sim.metrics();
+        assert_eq!(m.faults.crashes, 1);
+        assert!(!m.deliveries.iter().any(|d| d.node == NodeId(1)));
+        assert_eq!(m.per_node[1].frames_received, 0);
+    }
+
+    #[test]
+    fn restart_with_retained_state_resumes_and_remembers() {
+        // Crash node 1 with state retention, broadcast payload 1 while it is
+        // down, restart it, then broadcast payload 2: it must deliver 2 but
+        // not 1 (it was off the air), and keep its pre-crash `seen` set.
+        let plan = FaultPlan::new()
+            .crash(SimDuration::from_millis(200), NodeId(1), true)
+            .restart(SimDuration::from_secs(2), NodeId(1));
+        let mut sim = SimBuilder::new(pair_config())
+            .with_positions(pair_positions())
+            .with_nodes(2, Flooder::boxed)
+            .with_fault_plan(plan)
+            .build();
+        sim.schedule_app_broadcast(SimDuration::from_millis(100), NodeId(0), 1, 64);
+        sim.schedule_app_broadcast(SimDuration::from_secs(1), NodeId(0), 2, 64);
+        sim.schedule_app_broadcast(SimDuration::from_secs(3), NodeId(0), 3, 64);
+        sim.run_for(SimDuration::from_secs(5));
+        assert!(sim.is_up(NodeId(1)));
+        let at_1: Vec<u64> = sim
+            .metrics()
+            .deliveries
+            .iter()
+            .filter(|d| d.node == NodeId(1))
+            .map(|d| d.payload_id)
+            .collect();
+        assert_eq!(at_1, vec![1, 3], "missed while down, resumed after");
+        assert_eq!(sim.metrics().faults.restarts, 1);
+    }
+
+    #[test]
+    fn restart_after_state_loss_uses_the_factory() {
+        // Node 1 sees payload 1, crashes losing state, restarts fresh — so a
+        // re-flood of payload 1 after the restart is new to it again.
+        let plan = FaultPlan::new()
+            .crash(SimDuration::from_secs(1), NodeId(1), false)
+            .restart(SimDuration::from_secs(2), NodeId(1));
+        let mut sim = SimBuilder::new(pair_config())
+            .with_positions(pair_positions())
+            .with_nodes(2, Flooder::boxed)
+            .with_fault_plan(plan)
+            .with_restart_factory(Box::new(Flooder::boxed))
+            .build();
+        sim.schedule_app_broadcast(SimDuration::from_millis(100), NodeId(0), 1, 64);
+        sim.run_for(SimDuration::from_secs(5));
+        // Flooder delivers on first sight: the rebuilt instance has an empty
+        // `seen` set, which we can observe by injecting the same id at node 0
+        // again — node 0 still remembers it (no re-flood), so instead check
+        // the protocol state directly.
+        let seen = &sim.protocol::<Flooder>(NodeId(1)).unwrap().seen;
+        assert!(
+            seen.is_empty(),
+            "factory-rebuilt protocol kept state: {seen:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a restart factory")]
+    fn state_losing_restart_without_factory_panics() {
+        let plan = FaultPlan::new()
+            .crash(SimDuration::from_secs(1), NodeId(0), false)
+            .restart(SimDuration::from_secs(2), NodeId(0));
+        let mut sim = SimBuilder::new(pair_config())
+            .with_positions(vec![Position::new(0.0, 50.0)])
+            .with_nodes(1, Flooder::boxed)
+            .with_fault_plan(plan)
+            .build();
+        sim.run_for(SimDuration::from_secs(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault plan")]
+    fn plan_referencing_missing_node_panics_at_build() {
+        let plan = FaultPlan::new().crash(SimDuration::from_secs(1), NodeId(9), true);
+        let _ = SimBuilder::new(pair_config())
+            .with_positions(pair_positions())
+            .with_nodes(2, Flooder::boxed)
+            .with_fault_plan(plan)
+            .build();
+    }
+
+    #[test]
+    fn broadcast_injected_at_a_down_node_is_dropped_not_recorded() {
+        let plan = FaultPlan::new().crash(SimDuration::from_millis(100), NodeId(0), true);
+        let mut sim = SimBuilder::new(pair_config())
+            .with_positions(pair_positions())
+            .with_nodes(2, Flooder::boxed)
+            .with_fault_plan(plan)
+            .build();
+        sim.schedule_app_broadcast(SimDuration::from_secs(1), NodeId(0), 1, 64);
+        sim.run_for(SimDuration::from_secs(2));
+        let m = sim.metrics();
+        assert_eq!(m.broadcasts.len(), 0, "dropped injections must not count");
+        assert_eq!(m.faults.injections_dropped, 1);
+        assert!(m.deliveries.is_empty());
+    }
+
+    #[test]
+    fn jam_window_destroys_receptions_then_lifts() {
+        // Total jam over the receiver for seconds 1..3; broadcasts at 1.5 s
+        // (inside) and 4 s (after) — only the second arrives.
+        let plan = FaultPlan::new().jam_window(
+            1,
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(3),
+            Position::new(100.0, 50.0),
+            50.0,
+            1.0,
+        );
+        let mut sim = SimBuilder::new(pair_config())
+            .with_positions(pair_positions())
+            .with_nodes(2, Flooder::boxed)
+            .with_fault_plan(plan)
+            .build();
+        sim.schedule_app_broadcast(SimDuration::from_millis(1500), NodeId(0), 1, 64);
+        sim.schedule_app_broadcast(SimDuration::from_secs(4), NodeId(0), 2, 64);
+        sim.run_for(SimDuration::from_secs(6));
+        let m = sim.metrics();
+        let at_1: Vec<u64> = m
+            .deliveries
+            .iter()
+            .filter(|d| d.node == NodeId(1))
+            .map(|d| d.payload_id)
+            .collect();
+        assert_eq!(at_1, vec![2], "jammed frame must be lost, later one heard");
+        assert!(m.faults.jam_losses >= 1);
+        assert_eq!(m.faults.jam_starts, 1);
+        assert_eq!(m.faults.jam_ends, 1);
+    }
+
+    #[test]
+    fn jam_outside_the_region_changes_nothing() {
+        let run = |plan: FaultPlan| {
+            let mut sim = SimBuilder::new(pair_config())
+                .with_positions(pair_positions())
+                .with_nodes(2, Flooder::boxed)
+                .with_fault_plan(plan)
+                .build();
+            sim.schedule_app_broadcast(SimDuration::from_secs(1), NodeId(0), 1, 64);
+            sim.run_for(SimDuration::from_secs(3));
+            let mut m = sim.metrics().clone();
+            // Jam bookkeeping differs by construction; everything else must not.
+            m.faults = crate::metrics::FaultStats::default();
+            m
+        };
+        let far_jam = FaultPlan::new().jam_window(
+            1,
+            SimDuration::ZERO,
+            SimDuration::from_secs(3),
+            Position::new(900.0, 50.0),
+            50.0,
+            1.0,
+        );
+        assert_eq!(run(FaultPlan::new()), run(far_jam));
+    }
+
+    #[test]
+    fn on_byzantine_hook_reaches_the_protocol() {
+        struct Toggled {
+            log: Vec<bool>,
+        }
+        impl Protocol for Toggled {
+            type Msg = super::tests::TestMsg;
+            fn on_packet(&mut self, _: &mut Context<'_, Self::Msg>, _: NodeId, _: &Self::Msg) {}
+            fn on_timer(&mut self, _: &mut Context<'_, Self::Msg>, _: TimerKey) {}
+            fn on_app_broadcast(&mut self, _: &mut Context<'_, Self::Msg>, _: AppPayload) {}
+            fn on_byzantine(&mut self, _: &mut Context<'_, Self::Msg>, active: bool) {
+                self.log.push(active);
+            }
+        }
+        let plan = FaultPlan::new()
+            .set_byzantine(SimDuration::from_secs(1), NodeId(0), true)
+            .set_byzantine(SimDuration::from_secs(2), NodeId(0), false);
+        let mut sim = SimBuilder::new(pair_config())
+            .with_positions(vec![Position::new(0.0, 50.0)])
+            .with_node(Box::new(Toggled { log: Vec::new() }))
+            .with_fault_plan(plan)
+            .build();
+        sim.run_for(SimDuration::from_secs(3));
+        assert_eq!(
+            sim.protocol::<Toggled>(NodeId(0)).unwrap().log,
+            [true, false]
+        );
+        assert_eq!(sim.metrics().faults.byz_activations, 1);
+        assert_eq!(sim.metrics().faults.byz_deactivations, 1);
+    }
+
+    /// The differential guarantee at the engine level: a crash/restart of a
+    /// node whose radio never reaches the others leaves every other node's
+    /// counters bit-identical to a fault-free run (fork isolation + no extra
+    /// RNG draws on the shared paths).
+    #[test]
+    fn faults_on_an_isolated_node_do_not_perturb_the_rest() {
+        let run = |plan: FaultPlan| {
+            let config = SimConfig {
+                seed: 11,
+                radio: RadioConfig::default(),
+                mobility_tick: SimDuration::from_millis(100),
+                ..SimConfig::default()
+            };
+            let mut positions: Vec<Position> = Vec::new();
+            for i in 0..30 {
+                positions.push(Position::new(60.0 * (i % 6) as f64, 60.0 * (i / 6) as f64));
+            }
+            // Node 30: far corner, out of audible range of the cluster.
+            positions.push(Position::new(990.0, 990.0));
+            let mut sim = SimBuilder::new(config)
+                .with_mobility(Box::new(StaticPlacement::UniformRandom))
+                .with_positions(positions)
+                .with_nodes(31, Flooder::boxed)
+                .with_fault_plan(plan)
+                .with_restart_factory(Box::new(Flooder::boxed))
+                .build();
+            for k in 0..5u64 {
+                sim.schedule_app_broadcast(
+                    SimDuration::from_millis(10 + k * 300),
+                    NodeId((k % 5) as u32),
+                    k,
+                    256,
+                );
+            }
+            sim.run_for(SimDuration::from_secs(6));
+            let m = sim.metrics();
+            (m.per_node[..30].to_vec(), m.deliveries.clone())
+        };
+        let faulty = FaultPlan::new()
+            .crash(SimDuration::from_secs(1), NodeId(30), false)
+            .restart(SimDuration::from_secs(2), NodeId(30))
+            .crash(SimDuration::from_secs(3), NodeId(30), true)
+            .restart(SimDuration::from_secs(4), NodeId(30));
+        assert_eq!(run(FaultPlan::new()), run(faulty));
+    }
+
+    #[test]
+    fn mobile_runs_with_empty_plan_match_plan_free_builds() {
+        // Belt and braces for the zero-effect property on the mobile path.
+        let run = |with_plan: bool| {
+            let config = SimConfig {
+                seed: 5,
+                mobility_tick: SimDuration::from_millis(100),
+                ..SimConfig::default()
+            };
+            let mut b = SimBuilder::new(config)
+                .with_mobility(Box::new(RandomWaypoint::new(
+                    1.0,
+                    10.0,
+                    SimDuration::from_secs(1),
+                )))
+                .with_nodes(25, Flooder::boxed);
+            if with_plan {
+                b = b
+                    .with_fault_plan(FaultPlan::new())
+                    .with_restart_factory(Box::new(Flooder::boxed));
+            }
+            let mut sim = b.build();
+            for k in 0..4u64 {
+                sim.schedule_app_broadcast(
+                    SimDuration::from_millis(10 + k * 250),
+                    NodeId(k as u32),
+                    k,
+                    256,
+                );
+            }
+            sim.run_for(SimDuration::from_secs(5));
+            sim.metrics().clone()
+        };
+        assert_eq!(run(false), run(true));
     }
 }
 

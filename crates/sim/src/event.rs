@@ -41,6 +41,11 @@ pub enum EventKind {
     },
     /// Advance the mobility model by one tick.
     MobilityTick,
+    /// Execute the fault-plan event at `index` (into the sorted plan).
+    Fault {
+        /// Index into the engine's sorted fault-event list.
+        index: usize,
+    },
 }
 
 /// A scheduled event.

@@ -1,0 +1,284 @@
+//! Deterministic fault injection: a timed plan of crashes, restarts,
+//! Byzantine activation windows and radio-degradation (jamming) windows.
+//!
+//! A [`FaultPlan`] is handed to the [`crate::SimBuilder`] before the run
+//! starts. Its events flow through the same deterministic event queue as
+//! every other event, so a faulty run is exactly as reproducible as a clean
+//! one: same seed, same plan, same bits. An **empty** plan schedules nothing
+//! and perturbs nothing — the engine consumes identical RNG streams with and
+//! without the fault layer, which the differential tests rely on.
+//!
+//! The fault vocabulary mirrors the failure modes of the paper's environment
+//! (§2.1): process crashes with or without stable storage (state retention),
+//! correct nodes that *become* Byzantine mid-run and possibly recover
+//! (activation windows — the hardest case for the MUTE/TRUST detectors,
+//! which must not permanently convict a node for a transient lapse), and
+//! regional radio degradation modelling a raised noise floor or a jammer.
+
+use crate::geometry::Position;
+use crate::node::NodeId;
+use crate::time::SimDuration;
+
+/// One kind of injected fault.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultKind {
+    /// `node` crashes: it stops sending, receiving and running callbacks.
+    /// Pending timers and queued frames are lost. With `retain_state` the
+    /// protocol state survives for a later [`FaultKind::Restart`] (crash
+    /// with stable storage); without it the restart gets a fresh protocol
+    /// instance from the builder's restart factory.
+    Crash {
+        /// The node that crashes.
+        node: NodeId,
+        /// Whether protocol state survives until the restart.
+        retain_state: bool,
+    },
+    /// `node` comes back up (no-op if it is already up). Its protocol — the
+    /// retained instance or a fresh one — receives `on_start`.
+    Restart {
+        /// The node that restarts.
+        node: NodeId,
+    },
+    /// Toggles `node`'s Byzantine behaviour via
+    /// [`crate::Protocol::on_byzantine`]. Only protocols that implement the
+    /// hook (e.g. a flapping adversary wrapper) change behaviour; for
+    /// everything else this is a recorded no-op.
+    SetByzantine {
+        /// The node whose behaviour flips.
+        node: NodeId,
+        /// `true` activates the Byzantine behaviour, `false` deactivates it.
+        active: bool,
+    },
+    /// A jamming / raised-noise-floor region switches on: receptions at
+    /// positions within `radius_m` of `center` are additionally lost with
+    /// probability `loss` until the matching [`FaultKind::JamEnd`].
+    JamStart {
+        /// Plan-chosen identifier linking start and end.
+        id: u32,
+        /// Centre of the degraded region.
+        center: Position,
+        /// Radius of the degraded region in metres.
+        radius_m: f64,
+        /// Extra loss probability applied to receptions inside the region.
+        loss: f64,
+    },
+    /// The jamming region `id` switches off.
+    JamEnd {
+        /// The identifier given at [`FaultKind::JamStart`].
+        id: u32,
+    },
+}
+
+/// A fault scheduled at an instant (offset from simulation start).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultEvent {
+    /// When the fault fires, relative to simulation start.
+    pub at: SimDuration,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A time-ordered plan of fault events for one run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// Creates an empty plan (injects nothing).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether the plan schedules no faults.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scheduled fault events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// The events in insertion order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Schedules `kind` at `at`.
+    pub fn push(&mut self, at: SimDuration, kind: FaultKind) {
+        self.events.push(FaultEvent { at, kind });
+    }
+
+    /// Removes the event at `index` (for scenario shrinking).
+    pub fn remove(&mut self, index: usize) -> FaultEvent {
+        self.events.remove(index)
+    }
+
+    /// Builder-style [`FaultPlan::push`].
+    pub fn with(mut self, at: SimDuration, kind: FaultKind) -> Self {
+        self.push(at, kind);
+        self
+    }
+
+    /// Convenience: crash `node` at `at`.
+    pub fn crash(self, at: SimDuration, node: NodeId, retain_state: bool) -> Self {
+        self.with(at, FaultKind::Crash { node, retain_state })
+    }
+
+    /// Convenience: restart `node` at `at`.
+    pub fn restart(self, at: SimDuration, node: NodeId) -> Self {
+        self.with(at, FaultKind::Restart { node })
+    }
+
+    /// Convenience: flip `node`'s Byzantine behaviour at `at`.
+    pub fn set_byzantine(self, at: SimDuration, node: NodeId, active: bool) -> Self {
+        self.with(at, FaultKind::SetByzantine { node, active })
+    }
+
+    /// Convenience: a jam window over `[from, until)`.
+    pub fn jam_window(
+        mut self,
+        id: u32,
+        from: SimDuration,
+        until: SimDuration,
+        center: Position,
+        radius_m: f64,
+        loss: f64,
+    ) -> Self {
+        self.push(
+            from,
+            FaultKind::JamStart {
+                id,
+                center,
+                radius_m,
+                loss,
+            },
+        );
+        self.push(until, FaultKind::JamEnd { id });
+        self
+    }
+
+    /// Node ids referenced by crash / restart / byzantine events.
+    pub fn touched_nodes(&self) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::Crash { node, .. }
+                | FaultKind::Restart { node }
+                | FaultKind::SetByzantine { node, .. } => Some(node),
+                FaultKind::JamStart { .. } | FaultKind::JamEnd { .. } => None,
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Checks the plan against a simulation of `n` nodes.
+    pub fn validate(&self, n: usize) -> Result<(), String> {
+        for (i, e) in self.events.iter().enumerate() {
+            match e.kind {
+                FaultKind::Crash { node, .. }
+                | FaultKind::Restart { node }
+                | FaultKind::SetByzantine { node, .. } => {
+                    if node.index() >= n {
+                        return Err(format!(
+                            "fault event {i} references {node} but the simulation has {n} nodes"
+                        ));
+                    }
+                }
+                FaultKind::JamStart { radius_m, loss, .. } => {
+                    if !radius_m.is_finite() || radius_m <= 0.0 {
+                        return Err(format!("fault event {i}: jam radius must be positive"));
+                    }
+                    if !(0.0..=1.0).contains(&loss) {
+                        return Err(format!("fault event {i}: jam loss must be in [0, 1]"));
+                    }
+                }
+                FaultKind::JamEnd { .. } => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// The events sorted by firing time (stable, so same-instant events keep
+    /// plan order — matching the event queue's insertion-order tie-break).
+    pub fn sorted_events(&self) -> Vec<FaultEvent> {
+        let mut evs = self.events.clone();
+        evs.sort_by_key(|e| e.at);
+        evs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_empty_and_valid() {
+        let plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        assert_eq!(plan.len(), 0);
+        assert_eq!(plan.validate(0), Ok(()));
+    }
+
+    #[test]
+    fn builder_helpers_compose_in_order() {
+        let plan = FaultPlan::new()
+            .crash(SimDuration::from_secs(2), NodeId(1), true)
+            .restart(SimDuration::from_secs(4), NodeId(1))
+            .set_byzantine(SimDuration::from_secs(1), NodeId(3), true)
+            .jam_window(
+                7,
+                SimDuration::from_secs(3),
+                SimDuration::from_secs(5),
+                Position::new(100.0, 100.0),
+                150.0,
+                0.8,
+            );
+        assert_eq!(plan.len(), 5);
+        assert_eq!(plan.touched_nodes(), vec![NodeId(1), NodeId(3)]);
+        assert_eq!(plan.validate(4), Ok(()));
+        assert!(plan.validate(2).is_err());
+    }
+
+    #[test]
+    fn sorted_events_are_time_ordered_and_stable() {
+        let plan = FaultPlan::new()
+            .restart(SimDuration::from_secs(4), NodeId(0))
+            .crash(SimDuration::from_secs(2), NodeId(0), false)
+            // Same instant as the crash: must stay after it (plan order).
+            .set_byzantine(SimDuration::from_secs(2), NodeId(0), true);
+        let evs = plan.sorted_events();
+        assert_eq!(evs[0].at, SimDuration::from_secs(2));
+        assert!(matches!(evs[0].kind, FaultKind::Crash { .. }));
+        assert!(matches!(evs[1].kind, FaultKind::SetByzantine { .. }));
+        assert!(matches!(evs[2].kind, FaultKind::Restart { .. }));
+    }
+
+    #[test]
+    fn validate_rejects_bad_jams() {
+        let bad_radius = FaultPlan::new().with(
+            SimDuration::ZERO,
+            FaultKind::JamStart {
+                id: 0,
+                center: Position::new(0.0, 0.0),
+                radius_m: 0.0,
+                loss: 0.5,
+            },
+        );
+        assert!(bad_radius.validate(1).is_err());
+        let bad_loss = FaultPlan::new().with(
+            SimDuration::ZERO,
+            FaultKind::JamStart {
+                id: 0,
+                center: Position::new(0.0, 0.0),
+                radius_m: 10.0,
+                loss: 1.5,
+            },
+        );
+        assert!(bad_loss.validate(1).is_err());
+    }
+}

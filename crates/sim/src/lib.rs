@@ -68,6 +68,7 @@
 
 pub mod engine;
 pub mod event;
+pub mod fault;
 pub mod geometry;
 pub mod mac;
 pub mod metrics;
@@ -80,8 +81,9 @@ pub mod time;
 pub mod trace;
 
 pub use engine::{BoxedProtocol, DynProtocol, SimBuilder, SimConfig, Simulator};
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use geometry::{Field, Position};
-pub use metrics::{DeliveryRecord, Metrics, NodeMetrics};
+pub use metrics::{DeliveryRecord, FaultStats, Metrics, NodeMetrics};
 pub use mobility::{MobilityModel, RandomWalk, RandomWaypoint, StaticPlacement};
 pub use node::{AppPayload, Context, Message, NodeId, Protocol, TimerKey};
 pub use radio::{RadioConfig, RadioModel};

@@ -52,6 +52,30 @@ pub struct NodeMetrics {
     pub queue_drops: u64,
 }
 
+/// Counters for executed fault-plan events and their radio-level effects.
+///
+/// All-zero (the `Default`) when the run had no fault plan, so metrics from
+/// faulty and fault-free runs still compare with `==` in differential tests.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Crash events executed.
+    pub crashes: u64,
+    /// Restart events executed.
+    pub restarts: u64,
+    /// Byzantine activations delivered (`SetByzantine { active: true }`).
+    pub byz_activations: u64,
+    /// Byzantine deactivations delivered (`SetByzantine { active: false }`).
+    pub byz_deactivations: u64,
+    /// Jam windows opened.
+    pub jam_starts: u64,
+    /// Jam windows closed.
+    pub jam_ends: u64,
+    /// Receptions destroyed by an active jam region.
+    pub jam_losses: u64,
+    /// Application broadcasts dropped because the origin node was down.
+    pub injections_dropped: u64,
+}
+
 /// All metrics for a run.
 ///
 /// Compares with `==` so differential tests can assert that two runs (e.g.
@@ -82,6 +106,8 @@ pub struct Metrics {
     pub deliveries: Vec<DeliveryRecord>,
     /// Per-node counters, indexed by `NodeId::index`.
     pub per_node: Vec<NodeMetrics>,
+    /// Fault-injection counters (all zero when the run had no fault plan).
+    pub faults: FaultStats,
 }
 
 impl Metrics {

@@ -197,6 +197,14 @@ pub trait Protocol {
 
     /// Called when the application asks this node to broadcast `payload`.
     fn on_app_broadcast(&mut self, ctx: &mut Context<'_, Self::Msg>, payload: AppPayload);
+
+    /// Called when a fault plan toggles this node's Byzantine behaviour
+    /// ([`crate::fault::FaultKind::SetByzantine`]). Most protocols ignore
+    /// it; adversary wrappers that can *flap* — turn faulty mid-run and
+    /// possibly back — override it to switch their behaviour.
+    fn on_byzantine(&mut self, ctx: &mut Context<'_, Self::Msg>, active: bool) {
+        let _ = (ctx, active);
+    }
 }
 
 #[cfg(test)]

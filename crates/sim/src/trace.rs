@@ -53,6 +53,14 @@ pub enum TraceEvent {
         /// Payload id.
         payload_id: u64,
     },
+    /// A fault-plan event was executed by the engine.
+    Fault {
+        /// The affected node, if the fault targets one (jams do not).
+        node: Option<NodeId>,
+        /// Short label: `"crash"`, `"restart"`, `"byz-on"`, `"byz-off"`,
+        /// `"jam-start"`, `"jam-end"`.
+        label: &'static str,
+    },
 }
 
 /// A timestamped trace entry.

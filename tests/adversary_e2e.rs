@@ -1,0 +1,103 @@
+//! End-to-end runs against the standalone adversaries: a gossip liar (lies
+//! about holding messages, ignores the resulting requests) and an
+//! impersonator (injects frames forged in a victim's name). The protocol
+//! must shrug both off — every correct node delivers everything — and the
+//! failure detectors must end up suspecting the adversary, not the victim.
+
+use byzcast_harness::{AdversaryKind, ScenarioConfig, Workload};
+use byzcast_sim::{Field, NodeId, SimConfig, SimDuration};
+
+fn dense_scenario(seed: u64) -> ScenarioConfig {
+    ScenarioConfig {
+        seed,
+        n: 25,
+        sim: SimConfig {
+            field: Field::new(500.0, 500.0),
+            ..SimConfig::default()
+        },
+        ..ScenarioConfig::default()
+    }
+}
+
+fn workload() -> Workload {
+    Workload {
+        senders: vec![NodeId(0)],
+        count: 5,
+        payload_bytes: 256,
+        start: SimDuration::from_secs(5),
+        interval: SimDuration::from_secs(1),
+        drain: SimDuration::from_secs(15),
+    }
+}
+
+#[test]
+fn gossip_liar_is_suspected_and_harmless() {
+    let mut scenario = dense_scenario(2);
+    scenario
+        .adversary_assignments
+        .push((NodeId(24), AdversaryKind::GossipLiar));
+    let summary = scenario.run(&workload());
+    assert_eq!(
+        summary.min_delivery_ratio, 1.0,
+        "a gossip liar must not cost any correct node a delivery: {summary:?}"
+    );
+    assert!(
+        summary.true_suspicions > 0,
+        "no detector ever suspected the liar: {summary:?}"
+    );
+    assert_eq!(
+        summary.false_suspicions, 0,
+        "the liar got a correct node suspected: {summary:?}"
+    );
+}
+
+#[test]
+fn impersonator_is_suspected_and_its_victim_is_not() {
+    let mut scenario = dense_scenario(3);
+    scenario.adversary_assignments.push((
+        NodeId(24),
+        AdversaryKind::Impersonator { victim: NodeId(1) },
+    ));
+    let summary = scenario.run(&workload());
+    assert_eq!(
+        summary.min_delivery_ratio, 1.0,
+        "forged frames must not cost any correct node a delivery: {summary:?}"
+    );
+    assert!(
+        summary.true_suspicions > 0,
+        "no detector ever suspected the impersonator: {summary:?}"
+    );
+    assert_eq!(
+        summary.false_suspicions, 0,
+        "the impersonation framed a correct node: {summary:?}"
+    );
+    let forged = summary
+        .counters
+        .as_ref()
+        .map_or(0, |c| c.bad_signatures_seen);
+    assert!(
+        forged > 0,
+        "the impersonator's forgeries never reached a verifier: {summary:?}"
+    );
+}
+
+#[test]
+fn mixed_adversary_assignments_compose() {
+    // One of each, at the overlay-election-winning ids: the protocol rides
+    // out a liar and an impersonator at once.
+    let mut scenario = dense_scenario(4);
+    scenario
+        .adversary_assignments
+        .push((NodeId(24), AdversaryKind::GossipLiar));
+    scenario.adversary_assignments.push((
+        NodeId(23),
+        AdversaryKind::Impersonator { victim: NodeId(2) },
+    ));
+    let summary = scenario.run(&workload());
+    assert_eq!(summary.correct, 23);
+    assert_eq!(
+        summary.min_delivery_ratio, 1.0,
+        "mixed adversaries broke delivery: {summary:?}"
+    );
+    assert_eq!(summary.false_suspicions, 0, "{summary:?}");
+}

@@ -1,0 +1,37 @@
+//! Determinism of the chaos layer: the same seeds must yield byte-identical
+//! JSONL records regardless of worker-thread count, and a case must survive
+//! the corpus text round-trip with its run outcome intact.
+
+use byzcast_harness::chaos::{generate_case, run_case, soak, violation_counts};
+use byzcast_harness::parse_case;
+
+#[test]
+fn soak_records_are_identical_across_thread_counts() {
+    let serial = soak(0xD0_0D, 8, true, 1);
+    let parallel = soak(0xD0_0D, 8, true, 4);
+    assert_eq!(serial.len(), parallel.len());
+    for (a, b) in serial.iter().zip(&parallel) {
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.record, b.record, "JSONL diverged for seed {}", a.seed);
+        assert_eq!(a.violations, b.violations);
+    }
+}
+
+#[test]
+fn corpus_round_trip_preserves_the_run() {
+    for seed in [5u64, 17, 40] {
+        let case = generate_case(seed, true);
+        let parsed = parse_case(&case.to_text()).expect("round-trip parse");
+        let direct = run_case(&case);
+        let replayed = run_case(&parsed);
+        assert_eq!(
+            direct.summary, replayed.summary,
+            "summary diverged after text round-trip (seed {seed})"
+        );
+        assert_eq!(
+            violation_counts(&direct.violations),
+            violation_counts(&replayed.violations),
+            "violations diverged after text round-trip (seed {seed})"
+        );
+    }
+}

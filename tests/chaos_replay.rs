@@ -1,0 +1,85 @@
+//! Replays the committed chaos corpus: every reproducer under
+//! `tests/chaos_corpus/` must parse, run, and produce exactly the per-oracle
+//! violation counts its `expect` lines record. The corpus pins the oracles'
+//! ability to catch deliberately broken protocol behavior — if a refactor
+//! makes a reproducer stop reproducing, either the bug class is genuinely
+//! impossible now (regenerate the corpus) or an oracle went blind.
+
+use std::path::PathBuf;
+
+use byzcast_harness::chaos::violation_counts;
+use byzcast_harness::{parse_case, run_case};
+
+fn corpus_files() -> Vec<PathBuf> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/chaos_corpus");
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("tests/chaos_corpus exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "chaos"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn every_corpus_reproducer_replays_verbatim() {
+    let files = corpus_files();
+    assert!(
+        files.len() >= 3,
+        "corpus should hold at least the three sabotage reproducers, found {files:?}"
+    );
+    for path in &files {
+        let text = std::fs::read_to_string(path).expect("read corpus file");
+        let case = parse_case(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert!(
+            !case.expect.is_empty(),
+            "{}: corpus reproducers must record what they reproduce",
+            path.display()
+        );
+        let got = violation_counts(&run_case(&case).violations);
+        assert_eq!(
+            got,
+            case.expect,
+            "{}: reproducer no longer replays",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn corpus_violations_vanish_without_the_sabotage() {
+    // The control arm: the same scenarios run clean once the deliberately
+    // broken delivery layer is removed, so the corpus findings are caused by
+    // the sabotage, not by the topology or workload.
+    for path in &corpus_files() {
+        let text = std::fs::read_to_string(path).expect("read corpus file");
+        let mut case = parse_case(&text).expect("parse corpus file");
+        if case.scenario.sabotage.is_none() {
+            continue;
+        }
+        case.scenario.sabotage = None;
+        let checked = run_case(&case);
+        assert!(
+            checked.violations.is_empty(),
+            "{}: violations persist without sabotage: {:?}",
+            path.display(),
+            checked.violations
+        );
+    }
+}
+
+#[test]
+fn corpus_covers_three_distinct_oracles() {
+    let mut oracles = std::collections::BTreeSet::new();
+    for path in &corpus_files() {
+        let text = std::fs::read_to_string(path).expect("read corpus file");
+        let case = parse_case(&text).expect("parse corpus file");
+        oracles.extend(case.expect.iter().map(|(o, _)| o.clone()));
+    }
+    for needed in ["validity", "no-duplication", "semi-reliability"] {
+        assert!(
+            oracles.contains(needed),
+            "corpus lost its {needed} reproducer (has {oracles:?})"
+        );
+    }
+}
