@@ -28,6 +28,14 @@
 //!   victim originators (targeted censorship).
 //! * [`ImpersonatorNode`] — injects data messages with forged originators
 //!   and unsigned beacons; pure noise once signatures are checked.
+//! * [`FlooderNode`] — a registered node injecting unique *validly signed*
+//!   garbage at a configurable rate; pure memory/bandwidth exhaustion that
+//!   only resource-bounded admission can stop.
+//! * [`ReplayerNode`] — captures valid frames and re-injects them unchanged
+//!   after a delay, probing the receiver's seen-id memory horizon.
+//! * [`SigGrinderNode`] — unique valid-looking frames with garbage
+//!   signatures; every one costs the receiver a full failing verification
+//!   (CPU exhaustion).
 //! * [`FlappingNode`] — a correct node whose Byzantine behaviour (mute or
 //!   forging) is switched on and off mid-run by the fault plan's activation
 //!   windows; the hardest case for the MUTE/TRUST detectors.
@@ -45,7 +53,7 @@ pub mod wrappers;
 
 pub use flapping::{FlapBehavior, FlappingNode};
 pub use sabotage::{SabotageKind, SabotagedNode};
-pub use standalone::{GossipLiarNode, ImpersonatorNode};
+pub use standalone::{FlooderNode, GossipLiarNode, ImpersonatorNode, ReplayerNode, SigGrinderNode};
 pub use wrappers::{
     AlwaysDominator, ForgerNode, MuteNode, MutePolicy, SelectiveForwarder, SilentNode, VerboseNode,
 };

@@ -4,6 +4,7 @@ use byzcast_fd::{MuteConfig, TrustConfig, VerboseConfig};
 use byzcast_overlay::OverlayKind;
 use byzcast_sim::SimDuration;
 
+use crate::resources::ResourceConfig;
 use crate::stability::PurgePolicy;
 
 /// Configuration of a byzcast protocol node.
@@ -60,6 +61,11 @@ pub struct ByzcastConfig {
     /// underlying verifier runs — so protocol behaviour is identical either
     /// way.
     pub sig_cache_capacity: usize,
+    /// Resource-governance envelope: per-neighbour admission and
+    /// verification budgets, store caps, per-origin quotas. The default
+    /// (every limit `0` = unlimited) reproduces ungoverned behaviour bit for
+    /// bit.
+    pub resources: ResourceConfig,
 }
 
 impl Default for ByzcastConfig {
@@ -82,6 +88,7 @@ impl Default for ByzcastConfig {
             max_requests_per_msg: 5,
             request_retry_spacing: SimDuration::from_millis(1000),
             sig_cache_capacity: 512,
+            resources: ResourceConfig::unlimited(),
         }
     }
 }

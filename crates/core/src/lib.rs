@@ -13,6 +13,9 @@
 //!   the buffer-bound accounting of §3.5.
 //! * [`config`] — protocol timing, including the paper's
 //!   `max_timeout = gossip + request + rebroadcast + 3β`.
+//! * [`resources`] — the resource-governance envelope (admission control,
+//!   verification budgets, store caps, per-origin quotas) that makes the
+//!   §3.5 buffer bound hold under Byzantine load.
 //! * [`protocol`] — [`ByzcastNode`], the line-by-line implementation of the
 //!   pseudo-code of Figures 3–4 plus overlay maintenance (§3.3).
 //!
@@ -49,6 +52,7 @@
 pub mod config;
 pub mod message;
 pub mod protocol;
+pub mod resources;
 pub mod stability;
 pub mod store;
 
@@ -57,5 +61,6 @@ pub use message::{
     BeaconMsg, DataMsg, FindMissingMsg, GossipEntry, GossipMsg, MessageId, RequestMsg, WireMsg,
 };
 pub use protocol::{ByzcastNode, ProtocolCounters};
+pub use resources::{ResourceConfig, ResourceStats};
 pub use stability::{PurgePolicy, StabilityTracker};
 pub use store::{MessageStore, StoredMsg};

@@ -33,6 +33,7 @@ use crate::config::ByzcastConfig;
 use crate::message::{
     BeaconMsg, DataMsg, FindMissingMsg, GossipEntry, GossipMsg, MessageId, RequestMsg, WireMsg,
 };
+use crate::resources::{Governor, ResourceStats};
 use crate::stability::{PurgePolicy, StabilityTracker};
 use crate::store::MessageStore;
 
@@ -171,6 +172,12 @@ pub struct ByzcastNode {
     /// Reused preimage buffer for beacon verification (the most frequent
     /// signature check).
     beacon_scratch: Vec<u8>,
+    /// Admission control and verification budgets (resource governance).
+    governor: Governor,
+    /// Peak `active_gossip` size (resource-stats high-water mark).
+    peak_active_gossip: usize,
+    /// Peak `missing` size (resource-stats high-water mark).
+    peak_missing: usize,
 }
 
 /// A scheduled recovery response.
@@ -212,7 +219,13 @@ impl ByzcastNode {
         // Neighbour entries expire after three missed beacons.
         let table = NeighborTable::new(config.beacon_period.saturating_mul(3));
         let overlay_protocol = config.overlay.build();
-        let store = MessageStore::new(config.purge_after);
+        let store = MessageStore::with_limits(
+            config.purge_after,
+            config.resources.max_store_msgs,
+            config.resources.max_store_bytes,
+            config.resources.max_seen_ids,
+        );
+        let governor = Governor::new(config.resources);
         ByzcastNode {
             id,
             config,
@@ -237,6 +250,9 @@ impl ByzcastNode {
             served_recently: BTreeMap::new(),
             stability: StabilityTracker::new(),
             beacon_scratch: Vec::new(),
+            governor,
+            peak_active_gossip: 0,
+            peak_missing: 0,
         }
     }
 
@@ -278,6 +294,20 @@ impl ByzcastNode {
     /// The message buffer.
     pub fn store(&self) -> &MessageStore {
         &self.store
+    }
+
+    /// Resource-governance statistics: admission drops, evictions, quota
+    /// suspicions, and high-water marks against the configured envelope.
+    pub fn resource_stats(&self) -> ResourceStats {
+        let mut s = *self.governor.stats();
+        s.store_rejects = self.store.body_rejects();
+        s.seen_evictions = self.store.seen_evictions();
+        s.peak_store_msgs = self.store.high_water() as u64;
+        s.peak_store_bytes = self.store.peak_bytes() as u64;
+        s.peak_seen_ids = self.store.peak_seen() as u64;
+        s.peak_active_gossip = self.peak_active_gossip as u64;
+        s.peak_missing = self.peak_missing as u64;
+        s
     }
 
     /// The neighbour table.
@@ -341,6 +371,50 @@ impl ByzcastNode {
         self.fds.trust.suspect(now, node, reason);
     }
 
+    /// Records one resource-governance violation by `from`; sustained
+    /// violations convert into VERBOSE indictments (via the configured
+    /// `quota_violation_threshold`), so a flooder is eventually suspected
+    /// and shed from the overlay, not just throttled.
+    fn note_quota_violation(&mut self, now: SimTime, from: NodeId) {
+        if self.fds.verbose.report_quota_violation(now, from) {
+            self.governor.stats_mut().quota_suspicions += 1;
+        }
+    }
+
+    /// Charges one signature verification against `from`'s budget *before*
+    /// the crypto runs. On `false` the caller must drop the item unverified
+    /// — and unsuspected, since nothing was authenticated.
+    fn may_verify(&mut self, now: SimTime, from: NodeId) -> bool {
+        if self.governor.admit_verification(now, from) {
+            true
+        } else {
+            self.note_quota_violation(now, from);
+            false
+        }
+    }
+
+    /// Whether an `active_gossip` entry for `id` may be created on behalf of
+    /// `from`. Per-origin quotas bound how much advertisement bookkeeping a
+    /// single (possibly Byzantine) originator can occupy; a node's own
+    /// messages are exempt (origination is application-driven).
+    fn gossip_quota_allows(&mut self, now: SimTime, from: NodeId, id: MessageId) -> bool {
+        let quota = self.config.resources.max_gossip_per_origin;
+        if quota == 0 || id.origin == self.id || self.active_gossip.contains_key(&id) {
+            return true;
+        }
+        let in_use = self
+            .active_gossip
+            .range(MessageId::new(id.origin, 0)..=MessageId::new(id.origin, u64::MAX))
+            .count();
+        if in_use < quota {
+            true
+        } else {
+            self.governor.stats_mut().quota_drops += 1;
+            self.note_quota_violation(now, from);
+            false
+        }
+    }
+
     // ------------------------------------------------------------------
     // Dissemination task (Figure 3, lines 1–25)
     // ------------------------------------------------------------------
@@ -363,6 +437,11 @@ impl ByzcastNode {
         if self.store.seen(m.id) {
             return;
         }
+        // Budget the two signature checks below against `from` before any
+        // crypto runs, so ill-signed garbage cannot burn unbounded CPU.
+        if !self.may_verify(now, from) || !self.may_verify(now, from) {
+            return;
+        }
         // Lines 6 / 22–24: verify both originator signatures; on mismatch
         // "m is ignored and the process that sent it is suspected".
         if !m.verify(self.verifier.as_ref()) || !m.gossip_entry().verify(self.verifier.as_ref()) {
@@ -382,8 +461,15 @@ impl ByzcastNode {
                 self.counters.recovered_via_request += 1;
             }
         }
-        self.active_gossip
-            .insert(m.id, self.config.gossip_advertise_rounds);
+        // Advertise only what we can serve: a body rejected by the store
+        // caps is not gossiped (we could not answer the requests the gossip
+        // would invite), and per-origin quotas bound a flooder's share of
+        // the advertisement bookkeeping.
+        if self.store.has(m.id) && self.gossip_quota_allows(now, from, m.id) {
+            self.active_gossip
+                .insert(m.id, self.config.gossip_advertise_rounds);
+            self.peak_active_gossip = self.peak_active_gossip.max(self.active_gossip.len());
+        }
 
         // Lines 8–11: received the correct message, but not from an overlay
         // node and not from the originator → the overlay neighbours were
@@ -429,16 +515,37 @@ impl ByzcastNode {
             // Lines 34–37: we have the message — echo its gossip once.
             // Entries whose window closed stay in the map with 0 rounds, so
             // the echo cannot be re-armed forever by mutual re-advertising.
-            self.active_gossip.entry(e.id).or_insert(1);
+            if self.gossip_quota_allows(now, from, e.id) {
+                self.active_gossip.entry(e.id).or_insert(1);
+                self.peak_active_gossip = self.peak_active_gossip.max(self.active_gossip.len());
+            }
             return;
         }
         if self.store.seen(e.id) {
             return; // had it, purged: stale gossip
         }
+        // Budget the signature check before the crypto runs.
+        if !self.may_verify(now, from) {
+            return;
+        }
         // Lines 26 / 39–41: authenticate the gossiped signature.
         if !e.verify(self.verifier.as_ref()) {
             self.suspect(now, from, SuspicionReason::BadSignature);
             return;
+        }
+        // Per-origin quota on the request bookkeeping: a flooder gossiping
+        // unique ids cannot grow `missing` beyond its envelope share.
+        let quota = self.config.resources.max_missing_per_origin;
+        if quota != 0 && !self.missing.contains_key(&e.id) {
+            let tracked = self
+                .missing
+                .range(MessageId::new(e.id.origin, 0)..=MessageId::new(e.id.origin, u64::MAX))
+                .count();
+            if tracked >= quota {
+                self.governor.stats_mut().quota_drops += 1;
+                self.note_quota_violation(now, from);
+                return;
+            }
         }
         // Lines 27–33: the message is missing.
         let ms = self.missing.entry(e.id).or_insert_with(|| MissingState {
@@ -455,6 +562,7 @@ impl ByzcastNode {
             }
             ms.heard_from.push(from);
         }
+        self.peak_missing = self.peak_missing.max(self.missing.len());
         // Line 28's expectation — "since q gossiped about m, it should have
         // m and supply it when needed" — splits by who gossiped. The
         // *originator* owes us the broadcast itself (no request is sent to
@@ -608,6 +716,9 @@ impl ByzcastNode {
     /// (`p_j`); `r.target` the gossiper (`p_k`).
     fn handle_request(&mut self, ctx: &mut Context<'_, WireMsg>, from: NodeId, r: &RequestMsg) {
         let now = ctx.now();
+        if !self.may_verify(now, from) {
+            return;
+        }
         if !r.entry.verify(self.verifier.as_ref()) {
             self.suspect(now, from, SuspicionReason::BadSignature);
             return;
@@ -662,6 +773,9 @@ impl ByzcastNode {
     /// Figure 4 lines 62–81: `FIND_MISSING_MSG` handling.
     fn handle_find(&mut self, ctx: &mut Context<'_, WireMsg>, from: NodeId, f: &FindMissingMsg) {
         let now = ctx.now();
+        if !self.may_verify(now, from) {
+            return;
+        }
         if !f.entry.verify(self.verifier.as_ref()) {
             self.suspect(now, from, SuspicionReason::BadSignature);
             return;
@@ -712,6 +826,9 @@ impl ByzcastNode {
             // The radio identified the true transmitter; a beacon claiming a
             // different sender is an impersonation attempt.
             self.suspect(now, from, SuspicionReason::ProtocolViolation);
+            return;
+        }
+        if !self.may_verify(now, from) {
             return;
         }
         if !b.verify_with(self.verifier.as_ref(), &mut self.beacon_scratch) {
@@ -921,6 +1038,14 @@ impl Protocol for ByzcastNode {
     }
 
     fn on_packet(&mut self, ctx: &mut Context<'_, WireMsg>, from: NodeId, msg: &WireMsg) {
+        // Admission precedes everything — dispatch, FD observation, crypto:
+        // a neighbour past its frame budget cannot spend any further cycles
+        // of this node.
+        let now = ctx.now();
+        if !self.governor.admit_frame(now, from) {
+            self.note_quota_violation(now, from);
+            return;
+        }
         match msg {
             WireMsg::Data(m) => self.handle_data(ctx, from, m),
             WireMsg::Gossip(g) => {
@@ -970,9 +1095,14 @@ impl Protocol for ByzcastNode {
         // Lines 2 & 4: start lazycasting the gossip. The *first* gossip is
         // piggybacked on the data message itself (footnote 5: "It is
         // possible to piggyback the first gossip of a message by the sender
-        // … on the actual message") — `DataMsg` carries `id_sig`.
-        self.active_gossip
-            .insert(m.id, self.config.gossip_advertise_rounds);
+        // … on the actual message") — `DataMsg` carries `id_sig`. Under a
+        // store cap our own body may have been rejected; then it is not
+        // advertised either (we could not serve the requests).
+        if self.store.has(m.id) {
+            self.active_gossip
+                .insert(m.id, self.config.gossip_advertise_rounds);
+            self.peak_active_gossip = self.peak_active_gossip.max(self.active_gossip.len());
+        }
     }
 }
 
@@ -1656,6 +1786,154 @@ mod tests {
             Box::new(reg.signer(SignerId(1))),
             verifier,
         );
+    }
+
+    #[test]
+    fn frame_admission_drops_excess_frames_before_dispatch() {
+        use crate::resources::ResourceConfig;
+        let config = ByzcastConfig {
+            resources: ResourceConfig {
+                frames_per_sec: 2,
+                frame_burst: 2,
+                ..ResourceConfig::unlimited()
+            },
+            ..ByzcastConfig::default()
+        };
+        let mut h = Harness::new(1, config);
+        let t = SimTime::from_secs(1);
+        // Five distinct messages in one instant from one neighbour: only the
+        // burst (2) is dispatched, the rest are dropped before delivery.
+        for seq in 1..=5 {
+            let m = h.data_from(0, seq);
+            h.drive(t, |n, ctx| n.on_packet(ctx, NodeId(0), &WireMsg::Data(m)));
+        }
+        let stats = h.node.resource_stats();
+        assert_eq!(stats.frames_admitted, 2);
+        assert_eq!(stats.frames_dropped, 3);
+        assert_eq!(h.node.store().len(), 2);
+        // Another neighbour's bucket is untouched.
+        let m = h.data_from(2, 1);
+        let (_, actions) = h.drive(t, |n, ctx| {
+            n.on_packet(ctx, NodeId(2), &WireMsg::Data(m));
+        });
+        assert_eq!(delivers(&actions).len(), 1);
+    }
+
+    #[test]
+    fn verification_budget_drops_unverified_without_suspecting() {
+        use crate::resources::ResourceConfig;
+        let config = ByzcastConfig {
+            resources: ResourceConfig {
+                verifs_per_sec: 2,
+                verif_burst: 2,
+                ..ResourceConfig::unlimited()
+            },
+            ..ByzcastConfig::default()
+        };
+        let mut h = Harness::new(1, config);
+        let t = SimTime::from_secs(1);
+        // The first data message spends the whole budget (two signatures);
+        // the second is dropped before any crypto — and without suspecting
+        // the sender, since nothing was authenticated.
+        let m1 = h.data_from(0, 1);
+        h.drive(t, |n, ctx| n.on_packet(ctx, NodeId(0), &WireMsg::Data(m1)));
+        let m2 = h.data_from(0, 2);
+        h.drive(t, |n, ctx| n.on_packet(ctx, NodeId(0), &WireMsg::Data(m2)));
+        assert!(h.node.store().has(m1.id));
+        assert!(!h.node.store().seen(m2.id));
+        let stats = h.node.resource_stats();
+        assert_eq!(stats.verifs_charged, 2);
+        assert!(stats.verifs_dropped >= 1);
+        assert_eq!(h.node.counters().bad_signatures_seen, 0);
+    }
+
+    #[test]
+    fn sustained_admission_violations_feed_verbose() {
+        use crate::resources::ResourceConfig;
+        let config = ByzcastConfig {
+            resources: ResourceConfig {
+                frames_per_sec: 1,
+                frame_burst: 1,
+                ..ResourceConfig::unlimited()
+            },
+            ..ByzcastConfig::default()
+        };
+        // Default VERBOSE: 8 violations per indictment, 10 indictments to
+        // suspect → 80+ sustained drops from one neighbour.
+        let mut h = Harness::new(1, config);
+        let t = SimTime::from_secs(1);
+        for seq in 1..=120 {
+            let m = h.data_from(0, seq);
+            h.drive(t, |n, ctx| n.on_packet(ctx, NodeId(0), &WireMsg::Data(m)));
+        }
+        assert!(h.node.fds().verbose.is_suspected(NodeId(0), t));
+        assert!(h.node.resource_stats().quota_suspicions >= 1);
+    }
+
+    #[test]
+    fn per_origin_missing_quota_bounds_request_bookkeeping() {
+        use crate::resources::ResourceConfig;
+        let config = ByzcastConfig {
+            resources: ResourceConfig {
+                max_missing_per_origin: 3,
+                ..ResourceConfig::unlimited()
+            },
+            ..ByzcastConfig::default()
+        };
+        let mut h = Harness::new(1, config);
+        let t = SimTime::from_secs(1);
+        // Ten gossip entries for unique unseen messages from origin 0: the
+        // missing map tracks at most the quota.
+        for seq in 1..=10 {
+            let e = h.data_from(0, seq).gossip_entry();
+            let g = GossipMsg::of_entries(vec![e]);
+            h.drive(t, |n, ctx| n.on_packet(ctx, NodeId(5), &WireMsg::Gossip(g)));
+        }
+        assert_eq!(h.node.missing_count(), 3);
+        let stats = h.node.resource_stats();
+        assert_eq!(stats.quota_drops, 7);
+        assert_eq!(stats.peak_missing, 3);
+        // A different origin is unaffected by origin 0's quota.
+        let e = h.data_from(2, 1).gossip_entry();
+        let g = GossipMsg::of_entries(vec![e]);
+        h.drive(t, |n, ctx| n.on_packet(ctx, NodeId(5), &WireMsg::Gossip(g)));
+        assert_eq!(h.node.missing_count(), 4);
+    }
+
+    #[test]
+    fn store_cap_keeps_delivering_but_stops_advertising() {
+        use crate::resources::ResourceConfig;
+        let config = ByzcastConfig {
+            resources: ResourceConfig {
+                max_store_msgs: 2,
+                ..ResourceConfig::unlimited()
+            },
+            ..ByzcastConfig::default()
+        };
+        let mut h = Harness::new(1, config);
+        let t = SimTime::from_secs(1);
+        let mut delivered = 0;
+        for seq in 1..=5 {
+            let m = h.data_from(0, seq);
+            let (_, actions) = h.drive(t, |n, ctx| {
+                n.on_packet(ctx, NodeId(0), &WireMsg::Data(m));
+            });
+            delivered += delivers(&actions).len();
+        }
+        // Every first reception is still delivered exactly once…
+        assert_eq!(delivered, 5);
+        // …but only the capped bodies are buffered, and rejected bodies are
+        // not advertised (we could not serve requests for them).
+        assert_eq!(h.node.store().len(), 2);
+        let (_, actions) = h.drive(t, |n, ctx| n.gossip_tick(ctx));
+        for s in sends(&actions) {
+            if let WireMsg::Gossip(g) = s {
+                assert!(g.entries.len() <= 2);
+            }
+        }
+        let stats = h.node.resource_stats();
+        assert_eq!(stats.store_rejects, 3);
+        assert_eq!(stats.peak_store_msgs, 2);
     }
 }
 

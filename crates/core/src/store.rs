@@ -8,6 +8,23 @@
 //! static network and `max_timeout · (n − 1) · δ` in a mobile one (δ = new
 //! messages injected per second). The store tracks its own high-water mark so
 //! experiment T1 can compare occupancy against that bound.
+//!
+//! # Caps and eviction
+//!
+//! That bound assumes correct senders; a Byzantine flooder of unique signed
+//! messages fills the buffer linearly until the purge horizon. The store
+//! therefore accepts hard count and byte caps ([`MessageStore::with_limits`],
+//! `0` = unlimited, the default):
+//!
+//! * **Bodies** are governed drop-newest: when a cap is hit, the *incoming*
+//!   body is rejected (its seen-id is still recorded and the message still
+//!   delivered once). Established bodies stay servable for recovery, and a
+//!   flood burst — always the newest traffic — pays its own cost.
+//! * **Seen-ids** are retained past the body purge horizon so a replayed
+//!   old-but-valid message is never delivered twice (every seen-id is a
+//!   delivered id). The cap evicts oldest-first: the oldest ids are exactly
+//!   the ones an age-based policy would have dropped, so memory pressure
+//!   degrades toward age-based retention, never past it for recent traffic.
 
 use std::collections::BTreeMap;
 
@@ -44,23 +61,57 @@ pub struct StoredMsg {
 pub struct MessageStore {
     hold_for: SimDuration,
     messages: BTreeMap<MessageId, StoredMsg>,
-    /// Ids of messages already seen, kept past purging so that a purged
-    /// message re-received late is not delivered twice. Bounded separately.
+    /// Ids of messages already seen (all of them delivered), retained past
+    /// body purging so a purged message re-received late — or replayed by an
+    /// adversary — is never delivered twice. Bounded by `max_seen` only.
     seen: BTreeMap<MessageId, SimTime>,
-    seen_hold_for: SimDuration,
+    /// Reception-order index over `seen`, for oldest-first cap eviction.
+    seen_by_time: BTreeMap<(SimTime, MessageId), ()>,
+    /// Cap on buffered bodies (count); `0` = unlimited.
+    max_msgs: usize,
+    /// Cap on buffered bodies (total wire bytes); `0` = unlimited.
+    max_bytes: usize,
+    /// Cap on retained seen-ids; `0` = unlimited.
+    max_seen: usize,
+    /// Total wire bytes of the buffered bodies.
+    bytes: usize,
     high_water: usize,
+    peak_bytes: usize,
+    peak_seen: usize,
+    body_rejects: u64,
+    seen_evictions: u64,
 }
 
 impl MessageStore {
-    /// Creates a store that purges message bodies after `hold_for` and
-    /// seen-ids after `4 × hold_for`.
+    /// Creates an uncapped store that purges message bodies after
+    /// `hold_for`.
     pub fn new(hold_for: SimDuration) -> Self {
+        Self::with_limits(hold_for, 0, 0, 0)
+    }
+
+    /// Creates a store with hard caps: at most `max_msgs` bodies totalling at
+    /// most `max_bytes` wire bytes, and at most `max_seen` retained seen-ids
+    /// (`0` = unlimited for each).
+    pub fn with_limits(
+        hold_for: SimDuration,
+        max_msgs: usize,
+        max_bytes: usize,
+        max_seen: usize,
+    ) -> Self {
         MessageStore {
             hold_for,
             messages: BTreeMap::new(),
             seen: BTreeMap::new(),
-            seen_hold_for: hold_for.saturating_mul(4),
+            seen_by_time: BTreeMap::new(),
+            max_msgs,
+            max_bytes,
+            max_seen,
+            bytes: 0,
             high_water: 0,
+            peak_bytes: 0,
+            peak_seen: 0,
+            body_rejects: 0,
+            seen_evictions: 0,
         }
     }
 
@@ -75,13 +126,22 @@ impl MessageStore {
     }
 
     /// Inserts a message received at `now`. Returns `true` if it is new
-    /// (first reception → deliver/forward), `false` on duplicates.
+    /// (first reception → deliver/forward), `false` on duplicates. Under a
+    /// count/byte cap the body of a new message may be rejected (drop-newest;
+    /// check [`MessageStore::has`]) while the id is still recorded as seen.
     pub fn insert(&mut self, now: SimTime, msg: DataMsg) -> bool {
         let id = msg.id;
         if self.seen.contains_key(&id) {
             return false;
         }
-        self.seen.insert(id, now);
+        self.record_seen(now, id);
+        let size = msg.wire_size();
+        let over_count = self.max_msgs != 0 && self.messages.len() >= self.max_msgs;
+        let over_bytes = self.max_bytes != 0 && self.bytes + size > self.max_bytes;
+        if over_count || over_bytes {
+            self.body_rejects += 1;
+            return true;
+        }
         self.messages.insert(
             id,
             StoredMsg {
@@ -89,8 +149,23 @@ impl MessageStore {
                 received_at: now,
             },
         );
+        self.bytes += size;
         self.high_water = self.high_water.max(self.messages.len());
+        self.peak_bytes = self.peak_bytes.max(self.bytes);
         true
+    }
+
+    fn record_seen(&mut self, now: SimTime, id: MessageId) {
+        if self.max_seen != 0 && self.seen.len() >= self.max_seen {
+            if let Some((&key, ())) = self.seen_by_time.iter().next() {
+                self.seen_by_time.remove(&key);
+                self.seen.remove(&key.1);
+                self.seen_evictions += 1;
+            }
+        }
+        self.seen.insert(id, now);
+        self.seen_by_time.insert((now, id), ());
+        self.peak_seen = self.peak_seen.max(self.seen.len());
     }
 
     /// The buffered message body, if present.
@@ -101,17 +176,24 @@ impl MessageStore {
     /// Removes one body early (stability-based purging); the seen-id stays
     /// so late duplicates are still filtered.
     pub fn remove(&mut self, id: MessageId) {
-        self.messages.remove(&id);
+        if let Some(s) = self.messages.remove(&id) {
+            self.bytes -= s.msg.wire_size();
+        }
     }
 
-    /// Purges expired bodies and seen-ids.
+    /// Purges expired bodies. Seen-ids are retained (bounded by the seen-id
+    /// cap, oldest evicted first) so late replays stay deduplicated.
     pub fn purge(&mut self, now: SimTime) {
         let hold = self.hold_for;
-        self.messages
-            .retain(|_, s| now.saturating_since(s.received_at) <= hold);
-        let seen_hold = self.seen_hold_for;
-        self.seen
-            .retain(|_, &mut t| now.saturating_since(t) <= seen_hold);
+        let mut freed = 0usize;
+        self.messages.retain(|_, s| {
+            let keep = now.saturating_since(s.received_at) <= hold;
+            if !keep {
+                freed += s.msg.wire_size();
+            }
+            keep
+        });
+        self.bytes -= freed;
     }
 
     /// Currently buffered message ids, oldest-id first.
@@ -138,6 +220,36 @@ impl MessageStore {
     /// against the paper's §3.5 buffer bound in experiment T1.
     pub fn high_water(&self) -> usize {
         self.high_water
+    }
+
+    /// Total wire bytes of the currently buffered bodies.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// The maximum buffered body bytes ever held simultaneously.
+    pub fn peak_bytes(&self) -> usize {
+        self.peak_bytes
+    }
+
+    /// Number of currently retained seen-ids.
+    pub fn seen_len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// The maximum retained seen-ids ever held simultaneously.
+    pub fn peak_seen(&self) -> usize {
+        self.peak_seen
+    }
+
+    /// Bodies rejected by the count/byte caps (drop-newest).
+    pub fn body_rejects(&self) -> u64 {
+        self.body_rejects
+    }
+
+    /// Seen-ids evicted by the seen-id cap (oldest first).
+    pub fn seen_evictions(&self) -> u64 {
+        self.seen_evictions
     }
 }
 
@@ -180,12 +292,16 @@ mod tests {
     }
 
     #[test]
-    fn seen_ids_eventually_expire_too() {
+    fn delivered_ids_are_retained_indefinitely() {
+        // The replay hole: ids used to expire after 4 × hold, letting an
+        // adversary re-inject an old valid message as fresh. Retention is now
+        // bounded only by the seen-id cap.
         let mut s = store();
         let m = msg(1);
         s.insert(SimTime::from_secs(1), m);
-        s.purge(SimTime::from_secs(100)); // > 4 × hold
-        assert!(!s.seen(m.id));
+        s.purge(SimTime::from_secs(100)); // far past the old 4 × hold horizon
+        assert!(s.seen(m.id), "late replay window reopened");
+        assert!(!s.insert(SimTime::from_secs(100), m));
     }
 
     #[test]
@@ -197,6 +313,9 @@ mod tests {
         s.purge(SimTime::from_secs(20));
         assert_eq!(s.len(), 0);
         assert_eq!(s.high_water(), 5);
+        assert_eq!(s.bytes(), 0);
+        assert_eq!(s.peak_bytes(), 5 * msg(0).wire_size());
+        assert_eq!(s.peak_seen(), 5);
     }
 
     #[test]
@@ -219,5 +338,66 @@ mod tests {
         // BTreeMap ordering: sorted by id.
         assert!(ids.windows(2).all(|w| w[0] < w[1]));
         assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn count_cap_rejects_newest_body_but_still_deduplicates() {
+        let mut s = MessageStore::with_limits(SimDuration::from_secs(10), 2, 0, 0);
+        let t = SimTime::from_secs(1);
+        assert!(s.insert(t, msg(1)));
+        assert!(s.insert(t, msg(2)));
+        let m3 = msg(3);
+        // Still a first reception (deliver), but the body is dropped.
+        assert!(s.insert(t, m3));
+        assert!(!s.has(m3.id));
+        assert!(s.seen(m3.id));
+        assert!(!s.insert(t, m3), "rejected body must stay deduplicated");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.body_rejects(), 1);
+        // Established bodies survive (drop-newest keeps them servable).
+        assert!(s.has(msg(1).id) && s.has(msg(2).id));
+    }
+
+    #[test]
+    fn byte_cap_rejects_and_purge_frees_budget() {
+        let one = msg(0).wire_size();
+        let mut s = MessageStore::with_limits(SimDuration::from_secs(10), 0, 2 * one, 0);
+        let t = SimTime::from_secs(1);
+        assert!(s.insert(t, msg(1)));
+        assert!(s.insert(t, msg(2)));
+        assert!(s.insert(t, msg(3)));
+        assert_eq!(s.len(), 2, "byte cap exceeded");
+        assert_eq!(s.bytes(), 2 * one);
+        // Purging frees the byte budget for new bodies.
+        s.purge(SimTime::from_secs(12));
+        assert_eq!(s.bytes(), 0);
+        assert!(s.insert(SimTime::from_secs(13), msg(4)));
+        assert!(s.has(msg(4).id));
+    }
+
+    #[test]
+    fn seen_cap_evicts_oldest_ids_first() {
+        let mut s = MessageStore::with_limits(SimDuration::from_secs(10), 0, 0, 3);
+        for seq in 1..=3 {
+            s.insert(SimTime::from_secs(seq), msg(seq));
+        }
+        // A fourth id evicts the oldest (seq 1), not the recent ones.
+        s.insert(SimTime::from_secs(4), msg(4));
+        assert!(!s.seen(msg(1).id));
+        assert!(s.seen(msg(2).id) && s.seen(msg(3).id) && s.seen(msg(4).id));
+        assert_eq!(s.seen_len(), 3);
+        assert_eq!(s.seen_evictions(), 1);
+        assert_eq!(s.peak_seen(), 3);
+    }
+
+    #[test]
+    fn remove_keeps_byte_accounting_consistent() {
+        let mut s = store();
+        let m = msg(1);
+        s.insert(SimTime::from_secs(1), m);
+        assert_eq!(s.bytes(), m.wire_size());
+        s.remove(m.id);
+        assert_eq!(s.bytes(), 0);
+        assert!(s.seen(m.id));
     }
 }

@@ -28,6 +28,12 @@ pub struct VerboseConfig {
     pub decay_interval: SimDuration,
     /// How long a node stays suspected after crossing the threshold.
     pub suspicion_duration: SimDuration,
+    /// Resource-governance feed: how many admission/quota violations from
+    /// one neighbour convert into a single VERBOSE indictment (see
+    /// [`VerboseDetector::report_quota_violation`]). `0` disables the feed.
+    /// Only reachable when resource limits are configured, so the default is
+    /// inert under ungoverned configurations.
+    pub quota_violation_threshold: u32,
 }
 
 impl Default for VerboseConfig {
@@ -36,6 +42,7 @@ impl Default for VerboseConfig {
             threshold: 10,
             decay_interval: SimDuration::from_secs(5),
             suspicion_duration: SimDuration::from_secs(10),
+            quota_violation_threshold: 8,
         }
     }
 }
@@ -51,6 +58,9 @@ pub struct VerboseDetector {
     last_decay: SimTime,
     /// Total indictments per node over the whole run (diagnostic; not aged).
     indict_counts: HashMap<NodeId, u64>,
+    /// Accumulated resource-quota violations per node, reset each time they
+    /// convert into an indictment.
+    quota_violations: HashMap<NodeId, u32>,
 }
 
 impl VerboseDetector {
@@ -64,6 +74,7 @@ impl VerboseDetector {
             last_arrival: HashMap::new(),
             last_decay: SimTime::ZERO,
             indict_counts: HashMap::new(),
+            quota_violations: HashMap::new(),
         }
     }
 
@@ -88,6 +99,29 @@ impl VerboseDetector {
             let until = now + self.config.suspicion_duration;
             let entry = self.suspicions.entry(node).or_insert(until);
             *entry = (*entry).max(until);
+        }
+    }
+
+    /// Feeds one resource-governance violation by `node` (an admission
+    /// drop, refused verification, or per-origin quota rejection). Every
+    /// `quota_violation_threshold` violations convert into one [`indict`]
+    /// call, so *sustained* flooding is suspected and shed — not just
+    /// throttled — while isolated bursts merely lose the dropped frames.
+    /// Returns whether this violation produced an indictment.
+    ///
+    /// [`indict`]: VerboseDetector::indict
+    pub fn report_quota_violation(&mut self, now: SimTime, node: NodeId) -> bool {
+        if self.config.quota_violation_threshold == 0 {
+            return false;
+        }
+        let c = self.quota_violations.entry(node).or_insert(0);
+        *c += 1;
+        if *c >= self.config.quota_violation_threshold {
+            *c = 0;
+            self.indict(now, node);
+            true
+        } else {
+            false
         }
     }
 
@@ -157,6 +191,7 @@ mod tests {
             threshold: 3,
             decay_interval: SimDuration::from_secs(1),
             suspicion_duration: SimDuration::from_secs(5),
+            quota_violation_threshold: 2,
         }
     }
 
@@ -242,6 +277,35 @@ mod tests {
             );
         }
         assert_eq!(fd.counter(NodeId(3)), 0);
+    }
+
+    #[test]
+    fn quota_violations_accumulate_into_indictments() {
+        let mut fd = VerboseDetector::new(config());
+        let t = SimTime::from_secs(1);
+        // Threshold 2: every second violation is one indictment.
+        assert!(!fd.report_quota_violation(t, NodeId(4)));
+        assert!(fd.report_quota_violation(t, NodeId(4)));
+        assert_eq!(fd.indict_count(NodeId(4)), 1);
+        // Sustained flooding crosses the suspicion threshold (3).
+        for _ in 0..4 {
+            fd.report_quota_violation(t, NodeId(4));
+        }
+        assert!(fd.is_suspected(NodeId(4), t));
+    }
+
+    #[test]
+    fn zero_quota_threshold_disables_the_feed() {
+        let mut fd = VerboseDetector::new(VerboseConfig {
+            quota_violation_threshold: 0,
+            ..config()
+        });
+        let t = SimTime::from_secs(1);
+        for _ in 0..100 {
+            assert!(!fd.report_quota_violation(t, NodeId(4)));
+        }
+        assert_eq!(fd.indict_count(NodeId(4)), 0);
+        assert!(!fd.is_suspected(NodeId(4), t));
     }
 
     #[test]

@@ -110,6 +110,7 @@ proptest! {
             threshold,
             decay_interval: SimDuration::from_secs(3600),
             suspicion_duration: SimDuration::from_secs(60),
+            ..VerboseConfig::default()
         });
         let t = SimTime::from_secs(1);
         for _ in 0..indictments {

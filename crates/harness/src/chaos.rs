@@ -14,7 +14,9 @@ use std::collections::BTreeMap;
 use byzcast_adversary::{FlapBehavior, MutePolicy, SabotageKind};
 use byzcast_sim::{FaultKind, Field, NodeId, Position, SimConfig, SimDuration, SimRng};
 
-use crate::oracle::{check_run, standard_oracles, CheckedRun, Violation};
+use byzcast_core::ResourceConfig;
+
+use crate::oracle::{check_run, paper_envelope, standard_oracles, CheckedRun, Violation};
 use crate::par::par_map;
 use crate::record::{run_record, RecordMeta};
 use crate::scenario::{AdversaryKind, MobilityChoice, ScenarioConfig};
@@ -80,13 +82,17 @@ pub fn generate_case(seed: u64, quick: bool) -> ChaosCase {
         mobility,
         ..ScenarioConfig::default()
     };
+    // Every chaos case runs governed under the paper-derived envelope, so
+    // the bounded-resources oracle is binding on all of them — and the
+    // exhaustion adversaries below cannot blow up correct nodes.
+    scenario.byzcast.resources = paper_envelope();
 
     // Mixed adversaries at the highest ids (never senders).
     let adv_count = rng.gen_range_u64(n as u64 / 8 + 1) as usize;
     let mut next_high = n as u32;
     for _ in 0..adv_count {
         next_high -= 1;
-        let kind = match rng.gen_range_u64(9) {
+        let kind = match rng.gen_range_u64(12) {
             0 => AdversaryKind::Mute(MutePolicy::DropData),
             1 => AdversaryKind::Mute(MutePolicy::DropDataAndGossip),
             2 => AdversaryKind::Mute(MutePolicy::DropEverything),
@@ -98,7 +104,19 @@ pub fn generate_case(seed: u64, quick: bool) -> ChaosCase {
             },
             6 => AdversaryKind::GossipLiar,
             7 => AdversaryKind::SelectiveForwarder(vec![NodeId(0)]),
-            _ => AdversaryKind::Impersonator { victim: NodeId(0) },
+            8 => AdversaryKind::Impersonator { victim: NodeId(0) },
+            9 => AdversaryKind::Flooder {
+                period: SimDuration::from_millis(200),
+                per_tick: 4,
+                payload_bytes: 256,
+            },
+            10 => AdversaryKind::Replayer {
+                delay: SimDuration::from_secs(6),
+            },
+            _ => AdversaryKind::SigGrinder {
+                period: SimDuration::from_millis(200),
+                per_tick: 4,
+            },
         };
         scenario
             .adversary_assignments
@@ -391,6 +409,15 @@ fn kind_to_text(kind: &AdversaryKind) -> String {
             format!("selective-forwarder {}", csv.join(","))
         }
         AdversaryKind::Impersonator { victim } => format!("impersonator {}", victim.0),
+        AdversaryKind::Flooder {
+            period,
+            per_tick,
+            payload_bytes,
+        } => format!("flooder {} {per_tick} {payload_bytes}", millis(*period)),
+        AdversaryKind::Replayer { delay } => format!("replayer {}", millis(*delay)),
+        AdversaryKind::SigGrinder { period, per_tick } => {
+            format!("sig-grinder {} {per_tick}", millis(*period))
+        }
         AdversaryKind::Flapping(b) => format!("flap {}", flap_text(*b)),
     }
 }
@@ -440,6 +467,22 @@ impl ChaosCase {
         let _ = writeln!(out, "n {}", s.n);
         let _ = writeln!(out, "field {} {}", s.sim.field.width, s.sim.field.height);
         let _ = writeln!(out, "radio default");
+        let r = &s.byzcast.resources;
+        if !r.is_unlimited() {
+            let _ = writeln!(
+                out,
+                "resources {} {} {} {} {} {} {} {} {}",
+                r.frames_per_sec,
+                r.frame_burst,
+                r.verifs_per_sec,
+                r.verif_burst,
+                r.max_store_msgs,
+                r.max_store_bytes,
+                r.max_seen_ids,
+                r.max_gossip_per_origin,
+                r.max_missing_per_origin
+            );
+        }
         match &s.mobility {
             MobilityChoice::Static => {
                 let _ = writeln!(out, "mobility static");
@@ -575,6 +618,22 @@ pub fn parse_case(text: &str) -> Result<ChaosCase, String> {
                     return Err(err("unsupported radio"));
                 }
             }
+            "resources" => {
+                if rest.len() != 9 {
+                    return Err(err("resources needs 9 limits"));
+                }
+                case.scenario.byzcast.resources = ResourceConfig {
+                    frames_per_sec: parse_num(rest.first(), &err)?,
+                    frame_burst: parse_num(rest.get(1), &err)?,
+                    verifs_per_sec: parse_num(rest.get(2), &err)?,
+                    verif_burst: parse_num(rest.get(3), &err)?,
+                    max_store_msgs: parse_num(rest.get(4), &err)?,
+                    max_store_bytes: parse_num(rest.get(5), &err)?,
+                    max_seen_ids: parse_num(rest.get(6), &err)?,
+                    max_gossip_per_origin: parse_num(rest.get(7), &err)?,
+                    max_missing_per_origin: parse_num(rest.get(8), &err)?,
+                };
+            }
             "mobility" => {
                 case.scenario.mobility = parse_mobility(&rest).ok_or_else(|| err("bad mobility"))?
             }
@@ -675,6 +734,18 @@ fn parse_kind(rest: &[&str]) -> Option<AdversaryKind> {
         }
         "impersonator" => Some(AdversaryKind::Impersonator {
             victim: NodeId(rest.get(1)?.parse().ok()?),
+        }),
+        "flooder" => Some(AdversaryKind::Flooder {
+            period: SimDuration::from_millis(rest.get(1)?.parse().ok()?),
+            per_tick: rest.get(2)?.parse().ok()?,
+            payload_bytes: rest.get(3)?.parse().ok()?,
+        }),
+        "replayer" => Some(AdversaryKind::Replayer {
+            delay: SimDuration::from_millis(rest.get(1)?.parse().ok()?),
+        }),
+        "sig-grinder" => Some(AdversaryKind::SigGrinder {
+            period: SimDuration::from_millis(rest.get(1)?.parse().ok()?),
+            per_tick: rest.get(2)?.parse().ok()?,
         }),
         mute => parse_mute_policy(mute).map(AdversaryKind::Mute),
     }

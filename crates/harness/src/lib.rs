@@ -28,7 +28,9 @@ pub mod sweep;
 pub mod workload;
 
 pub use chaos::{generate_case, parse_case, run_case, shrink, ChaosCase, ShrinkResult};
-pub use oracle::{check_run, eligible_mask, standard_oracles, CheckedRun, Oracle, Violation};
+pub use oracle::{
+    check_run, eligible_mask, paper_envelope, standard_oracles, CheckedRun, Oracle, Violation,
+};
 pub use par::{default_threads, par_map};
 pub use report::Table;
 pub use runner::{run_sweep, PointResult, RunFn, RunOutcome, RunnerConfig, SweepPoint};

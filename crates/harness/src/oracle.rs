@@ -3,7 +3,7 @@
 //!
 //! Each [`Oracle`] inspects a finished run (its metrics, its suspicion
 //! history, the scenario that produced it) and reports [`Violation`]s of one
-//! protocol property. The four standard oracles encode the guarantees the
+//! protocol property. The five standard oracles encode the guarantees the
 //! paper claims:
 //!
 //! * **validity** — every payload delivered at a correct node was actually
@@ -15,7 +15,11 @@
 //!   connected node eventually accepts every message a correct node sent
 //!   (the paper's semi-reliability property, modulo partitions);
 //! * **fd-accuracy** — no correct node ends the run permanently suspecting
-//!   another correct node (suspicions of correct nodes must be transient).
+//!   another correct node (suspicions of correct nodes must be transient);
+//! * **bounded-resources** — on governed runs, no correct node's observed
+//!   peaks (store bodies/bytes, seen-ids, per-second verifications, request
+//!   bookkeeping) ever exceed the configured [`ResourceConfig`] envelope,
+//!   regardless of what the adversaries inject.
 //!
 //! Nodes that the fault plan crashes or flips Byzantine are excluded from
 //! the obligations ("eligible" below means correct, never crashed, never
@@ -25,10 +29,11 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use byzcast_core::{ResourceConfig, ResourceStats};
 use byzcast_fd::interval::SuspicionEpisode;
 use byzcast_sim::{FaultKind, Metrics, NodeId, Position, SimDuration, SimTime};
 
-use crate::scenario::{byz_view, MobilityChoice, ProtocolChoice, ScenarioConfig};
+use crate::scenario::{byz_view, AdversaryKind, MobilityChoice, ProtocolChoice, ScenarioConfig};
 use crate::summary::RunSummary;
 use crate::workload::Workload;
 
@@ -57,6 +62,9 @@ pub struct OracleCtx<'a> {
     /// All suspicion episodes observed by byzcast nodes (`None` when the
     /// protocol under test has no failure detector to audit).
     pub episodes: Option<Vec<SuspicionEpisode>>,
+    /// Per-node resource-governance stats (`None` when the protocol under
+    /// test has no governance layer to audit).
+    pub resources: Option<Vec<(NodeId, ResourceStats)>>,
 }
 
 /// An end-of-run invariant check.
@@ -86,6 +94,13 @@ pub fn eligible_mask(scenario: &ScenarioConfig) -> Vec<bool> {
 
 /// Validity: every delivery at an eligible node corresponds to a recorded
 /// broadcast of the same `(origin, payload)`, no earlier than its injection.
+///
+/// Deliveries whose *origin* is adversarial are exempt: a Byzantine node
+/// with a registered key can genuinely originate signed messages (the
+/// flooder does exactly that), and accepting an authentic message is not a
+/// validity violation — the paper's validity clause only promises that a
+/// delivered message was really sent by its named sender, which signatures
+/// enforce. Fabrications naming *correct* origins remain fully checked.
 pub struct Validity;
 
 impl Oracle for Validity {
@@ -100,9 +115,13 @@ impl Oracle for Validity {
             .iter()
             .map(|b| ((b.origin, b.payload_id), b.time))
             .collect();
+        let correct = ctx.scenario.correct_mask();
         let mut out = Vec::new();
         for d in &ctx.metrics.deliveries {
             if !ctx.eligible[d.node.index()] {
+                continue;
+            }
+            if d.origin.index() < correct.len() && !correct[d.origin.index()] {
                 continue;
             }
             match origins.get(&(d.origin, d.payload_id)) {
@@ -310,7 +329,11 @@ fn reachable_from(origin: NodeId, adj: &[Vec<NodeId>], eligible: &[bool]) -> Vec
 /// Only static runs are checked, and only pairs within the certain radius:
 /// a mobile node that wanders out of range — or a static pair whose link
 /// sits in the probabilistic fading fringe — is *correctly* suspected, and
-/// the retraction can only arrive once a beacon gets through again.
+/// the retraction can only arrive once a beacon gets through again. Runs
+/// with air-congesting adversaries (flooders, signature grinders) are
+/// skipped entirely: a saturated medium destroys beacons for everyone, so
+/// sustained suspicion of correct nodes is the detectors reporting the
+/// truth about an unusable channel, not a mistake.
 pub struct FdAccuracy;
 
 /// Suspicions opened this close to the horizon have not had time to be
@@ -335,6 +358,14 @@ impl Oracle for FdAccuracy {
                 | MobilityChoice::Line { .. }
                 | MobilityChoice::Explicit(_)
         ) {
+            return Vec::new();
+        }
+        let congested = ctx.scenario.adversary_set().iter().any(|&id| {
+            ctx.scenario
+                .adversary_kind_of(id)
+                .is_some_and(AdversaryKind::congests_air)
+        });
+        if congested {
             return Vec::new();
         }
         let positions = ctx.scenario.initial_positions();
@@ -364,13 +395,128 @@ impl Oracle for FdAccuracy {
     }
 }
 
-/// The four standard oracles, in stable order.
+/// Bounded resources: on governed runs, no correct node's observed peaks
+/// exceed the configured [`ResourceConfig`] envelope — the tentpole safety
+/// property of the resource-governance layer. Each bound is checked only
+/// when its limit is configured (non-zero); the oracle is vacuous on
+/// ungoverned runs, so adding it changes nothing for existing scenarios.
+///
+/// The derived ceilings: store bodies/bytes and seen-ids are per-node hard
+/// caps; the active-gossip and missing maps hold at most
+/// `quota × n` entries (one quota per possible origin); and one calendar
+/// second can see at most `rate + burst` admitted verifications *per
+/// sender*, i.e. `(rate + burst) × (n − 1)` per node.
+pub struct BoundedResources;
+
+impl Oracle for BoundedResources {
+    fn name(&self) -> &'static str {
+        "bounded-resources"
+    }
+
+    fn check(&self, ctx: &OracleCtx<'_>) -> Vec<Violation> {
+        let cfg = &ctx.scenario.byzcast.resources;
+        if cfg.is_unlimited() {
+            return Vec::new();
+        }
+        let Some(resources) = &ctx.resources else {
+            return Vec::new();
+        };
+        let correct = ctx.scenario.correct_mask();
+        let n = ctx.scenario.n as u64;
+        let mut out = Vec::new();
+        let mut check = |node: NodeId, what: &str, peak: u64, limit: u64| {
+            if limit != 0 && peak > limit {
+                out.push(Violation {
+                    oracle: "bounded-resources",
+                    detail: format!("node {} {what} peaked at {peak} > {limit}", node.0),
+                });
+            }
+        };
+        for &(node, ref stats) in resources {
+            if !correct[node.index()] {
+                continue;
+            }
+            check(
+                node,
+                "store bodies",
+                stats.peak_store_msgs,
+                cfg.max_store_msgs as u64,
+            );
+            check(
+                node,
+                "store bytes",
+                stats.peak_store_bytes,
+                cfg.max_store_bytes as u64,
+            );
+            check(
+                node,
+                "seen ids",
+                stats.peak_seen_ids,
+                cfg.max_seen_ids as u64,
+            );
+            check(
+                node,
+                "active gossip",
+                stats.peak_active_gossip,
+                cfg.max_gossip_per_origin as u64 * n,
+            );
+            check(
+                node,
+                "missing entries",
+                stats.peak_missing,
+                cfg.max_missing_per_origin as u64 * n,
+            );
+            let verif_ceiling = if cfg.verifs_per_sec == 0 {
+                0
+            } else {
+                let burst = if cfg.verif_burst == 0 {
+                    cfg.verifs_per_sec
+                } else {
+                    cfg.verif_burst
+                };
+                u64::from(cfg.verifs_per_sec + burst) * n.saturating_sub(1)
+            };
+            check(
+                node,
+                "verifications/sec",
+                stats.peak_verifs_per_sec,
+                verif_ceiling,
+            );
+        }
+        out
+    }
+}
+
+/// A paper-derived resource envelope for chaos and DoS runs. Each bound is
+/// a §3.5-style worst case for *correct* traffic with generous slack — a
+/// correct neighbour sends a beacon and a gossip per second plus a handful
+/// of data forwards and recovery frames, far under 50 frames/s — so
+/// governance never drops legitimate traffic (the validity and
+/// semi-reliability oracles stay binding) while sustained floods hit the
+/// ceiling. `max_seen_ids` is sized so a run-length flood cannot evict a
+/// legitimate delivered id (which would re-open the no-duplication hole).
+pub fn paper_envelope() -> ResourceConfig {
+    ResourceConfig {
+        frames_per_sec: 50,
+        frame_burst: 100,
+        verifs_per_sec: 200,
+        verif_burst: 400,
+        max_store_msgs: 4096,
+        max_store_bytes: 4 << 20,
+        max_seen_ids: 32768,
+        max_gossip_per_origin: 64,
+        max_missing_per_origin: 64,
+    }
+}
+
+/// The five standard oracles, in stable order.
 pub fn standard_oracles() -> Vec<Box<dyn Oracle + Send + Sync>> {
     vec![
         Box::new(Validity),
         Box::new(NoDuplication),
         Box::new(SemiReliability),
         Box::new(FdAccuracy),
+        Box::new(BoundedResources),
     ]
 }
 
@@ -399,16 +545,18 @@ pub fn check_run(
     let mut sim = scenario.build_wire_sim();
     scenario.drive(&mut sim, workload);
 
-    let episodes = if scenario.protocol == ProtocolChoice::Byzcast {
+    let (episodes, resources) = if scenario.protocol == ProtocolChoice::Byzcast {
         let mut all = Vec::new();
+        let mut res = Vec::new();
         for i in 0..scenario.n as u32 {
             if let Some(node) = byz_view(&sim, NodeId(i)) {
                 all.extend_from_slice(node.suspicion_log().episodes());
+                res.push((NodeId(i), node.resource_stats()));
             }
         }
-        Some(all)
+        (Some(all), Some(res))
     } else {
-        None
+        (None, None)
     };
 
     let ctx = OracleCtx {
@@ -418,6 +566,7 @@ pub fn check_run(
         horizon: SimTime::ZERO + workload.horizon(),
         eligible: eligible_mask(scenario),
         episodes,
+        resources,
     };
     let mut violations = Vec::new();
     let mut outcomes = Vec::new();
@@ -471,7 +620,7 @@ mod tests {
             "unexpected violations: {:?}",
             checked.violations
         );
-        assert_eq!(checked.summary.oracle_outcomes.len(), 4);
+        assert_eq!(checked.summary.oracle_outcomes.len(), 5);
         assert!(checked.summary.oracle_outcomes.iter().all(|(_, c)| *c == 0));
     }
 
@@ -521,6 +670,46 @@ mod tests {
             "dropped deliveries went undetected: {:?}",
             checked.violations
         );
+    }
+
+    #[test]
+    fn governed_flooded_run_stays_inside_the_envelope() {
+        use crate::scenario::AdversaryKind;
+        let mut s = scenario(20);
+        s.byzcast.resources = paper_envelope();
+        s.adversary = Some(AdversaryKind::Flooder {
+            period: SimDuration::from_millis(200),
+            per_tick: 4,
+            payload_bytes: 256,
+        });
+        s.adversary_count = 2;
+        let checked = check_run(&s, &workload(), &standard_oracles());
+        assert!(
+            checked.violations.is_empty(),
+            "governed flood violated an oracle: {:?}",
+            checked.violations
+        );
+        let res = checked
+            .summary
+            .resources
+            .expect("governed runs report resource stats");
+        assert!(res.frames_admitted > 0);
+        assert!(
+            res.peak_store_msgs <= paper_envelope().max_store_msgs as u64,
+            "store peak {} above the cap",
+            res.peak_store_msgs
+        );
+    }
+
+    #[test]
+    fn ungoverned_runs_report_no_resource_stats() {
+        let checked = check_run(&scenario(25), &workload(), &standard_oracles());
+        assert!(checked.summary.resources.is_none());
+        assert!(checked
+            .summary
+            .oracle_outcomes
+            .iter()
+            .any(|(name, count)| name == "bounded-resources" && *count == 0));
     }
 
     #[test]

@@ -198,6 +198,24 @@ pub fn run_record(
             .u64("injections_dropped", f.injections_dropped);
         o.raw("faults", &fo.finish());
     }
+    if let Some(r) = &summary.resources {
+        let mut ro = JsonObject::new();
+        ro.u64("frames_admitted", r.frames_admitted)
+            .u64("frames_dropped", r.frames_dropped)
+            .u64("verifs_charged", r.verifs_charged)
+            .u64("verifs_dropped", r.verifs_dropped)
+            .u64("peak_verifs_per_sec", r.peak_verifs_per_sec)
+            .u64("store_rejects", r.store_rejects)
+            .u64("seen_evictions", r.seen_evictions)
+            .u64("quota_drops", r.quota_drops)
+            .u64("quota_suspicions", r.quota_suspicions)
+            .u64("peak_store_msgs", r.peak_store_msgs)
+            .u64("peak_store_bytes", r.peak_store_bytes)
+            .u64("peak_seen_ids", r.peak_seen_ids)
+            .u64("peak_active_gossip", r.peak_active_gossip)
+            .u64("peak_missing", r.peak_missing);
+        o.raw("resources", &ro.finish());
+    }
     if !summary.oracle_outcomes.is_empty() {
         let mut oo = JsonObject::new();
         let mut total = 0u64;

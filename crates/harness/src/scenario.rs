@@ -4,8 +4,9 @@ use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use byzcast_adversary::{
-    FlapBehavior, FlappingNode, ForgerNode, GossipLiarNode, ImpersonatorNode, MuteNode, MutePolicy,
-    SabotageKind, SabotagedNode, SelectiveForwarder, SilentNode, VerboseNode,
+    FlapBehavior, FlappingNode, FlooderNode, ForgerNode, GossipLiarNode, ImpersonatorNode,
+    MuteNode, MutePolicy, ReplayerNode, SabotageKind, SabotagedNode, SelectiveForwarder,
+    SigGrinderNode, SilentNode, VerboseNode,
 };
 use byzcast_baselines::{plan_overlays, FloodingNode, MoMsg, MultiOverlayNode};
 use byzcast_core::message::WireMsg;
@@ -116,9 +117,48 @@ pub enum AdversaryKind {
         /// The framed node.
         victim: NodeId,
     },
+    /// Inject unique *validly signed* garbage at a configurable rate
+    /// (memory/bandwidth exhaustion).
+    Flooder {
+        /// Injection period.
+        period: SimDuration,
+        /// Garbage messages per tick.
+        per_tick: u32,
+        /// Payload size of each garbage message.
+        payload_bytes: u32,
+    },
+    /// Capture valid frames and re-inject them unchanged after `delay`
+    /// (probes the receiver's seen-id memory horizon).
+    Replayer {
+        /// How long after capture each frame is replayed.
+        delay: SimDuration,
+    },
+    /// Inject unique valid-looking frames with garbage signatures at a
+    /// configurable rate (verifier-CPU exhaustion).
+    SigGrinder {
+        /// Injection period.
+        period: SimDuration,
+        /// Ill-signed frames per tick.
+        per_tick: u32,
+    },
     /// Correct until the fault plan's `SetByzantine` windows flip it (the
     /// worst case for the MUTE/TRUST detectors).
     Flapping(FlapBehavior),
+}
+
+impl AdversaryKind {
+    /// Whether this adversary saturates the shared radio medium by brute
+    /// injection rate. Air-time congestion collapses beacon and data
+    /// reception for every node in range — resource governance sheds the
+    /// *processing* cost, but cannot reclaim the air the frames already
+    /// burned — so oracles that presume a usable medium (fd-accuracy) treat
+    /// such runs like jammed ones and skip their obligations.
+    pub fn congests_air(&self) -> bool {
+        matches!(
+            self,
+            AdversaryKind::Flooder { .. } | AdversaryKind::SigGrinder { .. }
+        )
+    }
 }
 
 /// A full experiment scenario.
@@ -417,6 +457,7 @@ impl ScenarioConfig {
         let mut true_sus = 0u64;
         let mut false_sus = 0u64;
         let mut cache_stats = None;
+        let mut resources = byzcast_core::ResourceStats::default();
         for i in 0..self.n as u32 {
             let id = NodeId(i);
             let Some(node) = byz_view(sim, id) else {
@@ -434,6 +475,7 @@ impl ScenarioConfig {
                     cache_stats = node.sig_cache_stats();
                 }
                 high_water = high_water.max(node.store().high_water());
+                resources.merge(&node.resource_stats());
                 for ep in node.suspicion_log().episodes() {
                     if adv.contains(&ep.suspect) {
                         true_sus += 1;
@@ -459,6 +501,11 @@ impl ScenarioConfig {
         summary.store_high_water = high_water;
         summary.true_suspicions = true_sus;
         summary.false_suspicions = false_sus;
+        // Only governed runs report resource stats: ungoverned records stay
+        // byte-identical to before the governance layer existed.
+        if !self.byzcast.resources.is_unlimited() {
+            summary.resources = Some(resources);
+        }
     }
 }
 
@@ -539,6 +586,22 @@ impl WireNodeFactory {
                 *victim,
                 SimDuration::from_secs(1),
             )),
+            AdversaryKind::Flooder {
+                period,
+                per_tick,
+                payload_bytes,
+            } => Box::new(FlooderNode::new(
+                Box::new(self.keys.signer(SignerId(id.0))),
+                *period,
+                *per_tick,
+                *payload_bytes,
+            )),
+            AdversaryKind::Replayer { delay } => {
+                Box::new(ReplayerNode::new(*delay, SimDuration::from_millis(500)))
+            }
+            AdversaryKind::SigGrinder { period, per_tick } => {
+                Box::new(SigGrinderNode::new(id, *period, *per_tick))
+            }
             AdversaryKind::Flapping(behavior) => {
                 Box::new(FlappingNode::new(self.make_byz(id), *behavior))
             }

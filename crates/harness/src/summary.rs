@@ -2,7 +2,7 @@
 
 use std::collections::BTreeSet;
 
-use byzcast_core::ProtocolCounters;
+use byzcast_core::{ProtocolCounters, ResourceStats};
 use byzcast_sim::{FaultStats, Metrics, NodeId};
 
 /// The distilled result of one simulation run — the quantities the paper's
@@ -75,6 +75,10 @@ pub struct RunSummary {
     /// Per-oracle violation counts from an invariant-checked run, in oracle
     /// order (empty when no oracles ran).
     pub oracle_outcomes: Vec<(String, u64)>,
+    /// Resource-governance stats merged over correct nodes (counters summed,
+    /// peaks maxed). `None` when the run is ungoverned, keeping ungoverned
+    /// records byte-identical to before the governance layer existed.
+    pub resources: Option<ResourceStats>,
 }
 
 impl RunSummary {

@@ -126,7 +126,19 @@ pub fn aggregate(summaries: &[RunSummary]) -> RunSummary {
         frame_kinds: mean_frame_kinds(summaries),
         faults: sum_faults(summaries),
         oracle_outcomes: sum_oracle_outcomes(summaries),
+        resources: merge_resources(summaries),
     }
+}
+
+/// Resource stats over the replicas — counters summed, peaks maxed ("how
+/// bad did it get across any replica") — present only when every replica
+/// was governed.
+fn merge_resources(summaries: &[RunSummary]) -> Option<byzcast_core::ResourceStats> {
+    let mut total = byzcast_core::ResourceStats::default();
+    for s in summaries {
+        total.merge(s.resources.as_ref()?);
+    }
+    Some(total)
 }
 
 /// Total fault-event counts over the replicas, present only when every

@@ -1,10 +1,12 @@
 //! End-to-end runs against the standalone adversaries: a gossip liar (lies
-//! about holding messages, ignores the resulting requests) and an
-//! impersonator (injects frames forged in a victim's name). The protocol
-//! must shrug both off — every correct node delivers everything — and the
-//! failure detectors must end up suspecting the adversary, not the victim.
+//! about holding messages, ignores the resulting requests), an impersonator
+//! (injects frames forged in a victim's name), a selective forwarder, a
+//! verbose spammer, and a replayer (re-injects captured frames after their
+//! bodies have been purged). The protocol must shrug them all off — every
+//! correct node delivers everything exactly once — and the failure
+//! detectors must end up suspecting the adversary, not a correct node.
 
-use byzcast_harness::{AdversaryKind, ScenarioConfig, Workload};
+use byzcast_harness::{check_run, standard_oracles, AdversaryKind, ScenarioConfig, Workload};
 use byzcast_sim::{Field, NodeId, SimConfig, SimDuration};
 
 fn dense_scenario(seed: u64) -> ScenarioConfig {
@@ -78,6 +80,84 @@ fn impersonator_is_suspected_and_its_victim_is_not() {
     assert!(
         forged > 0,
         "the impersonator's forgeries never reached a verifier: {summary:?}"
+    );
+}
+
+#[test]
+fn selective_forwarder_cannot_starve_its_victim() {
+    let mut scenario = dense_scenario(5);
+    scenario.adversary_assignments.push((
+        NodeId(24),
+        AdversaryKind::SelectiveForwarder(vec![NodeId(0)]),
+    ));
+    let summary = scenario.run(&workload());
+    assert_eq!(
+        summary.min_delivery_ratio, 1.0,
+        "overlay redundancy must route around a selective forwarder: {summary:?}"
+    );
+    assert_eq!(
+        summary.false_suspicions, 0,
+        "the selective forwarder got a correct node suspected: {summary:?}"
+    );
+}
+
+#[test]
+fn verbose_spammer_is_suspected_and_harmless() {
+    let mut scenario = dense_scenario(6);
+    scenario.adversary_assignments.push((
+        NodeId(24),
+        AdversaryKind::Verbose {
+            period: SimDuration::from_millis(500),
+            per_tick: 3,
+        },
+    ));
+    let summary = scenario.run(&workload());
+    assert_eq!(
+        summary.min_delivery_ratio, 1.0,
+        "gossip spam must not cost any correct node a delivery: {summary:?}"
+    );
+    assert!(
+        summary.true_suspicions > 0,
+        "no detector ever suspected the verbose spammer: {summary:?}"
+    );
+    assert_eq!(
+        summary.false_suspicions, 0,
+        "the spam got a correct node suspected: {summary:?}"
+    );
+}
+
+#[test]
+fn replayed_frames_after_body_purge_are_still_duplicates() {
+    // The replay hole this pins shut: with `purge_after` well under the
+    // replay delay, every captured body (and, before the fix, its seen-id
+    // four holds later) would be long gone when the replayer re-injects the
+    // frame — which then carried a valid signature and a fresh-looking id.
+    // Seen-ids are now retained for the life of the run (bounded only by
+    // the configured cap), so the replay must be recognised as a duplicate
+    // by every correct node: the no-duplication oracle stays clean.
+    let mut scenario = dense_scenario(7);
+    scenario.byzcast.purge_after = SimDuration::from_secs(2);
+    scenario.adversary_assignments.push((
+        NodeId(24),
+        AdversaryKind::Replayer {
+            delay: SimDuration::from_secs(10),
+        },
+    ));
+    let checked = check_run(&scenario, &workload(), &standard_oracles());
+    let dups = checked
+        .violations
+        .iter()
+        .filter(|v| v.oracle == "no-duplication")
+        .count();
+    assert_eq!(
+        dups, 0,
+        "replayed frames were re-delivered: {:?}",
+        checked.violations
+    );
+    assert_eq!(
+        checked.summary.min_delivery_ratio, 1.0,
+        "the replayer cost a correct node a delivery: {:?}",
+        checked.summary
     );
 }
 

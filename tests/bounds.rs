@@ -90,6 +90,57 @@ fn buffer_bound_holds() {
 }
 
 #[test]
+fn buffer_bound_static_failure_free() {
+    // §3.5's static requirement: a node needs at most max_timeout · δ
+    // buffered messages. The bound presumes bodies are retired once the
+    // dissemination timeout for them has lapsed, so the run pins
+    // `purge_after` to half of max_timeout (the purge timer fires every
+    // `purge_after`, so worst-case body retention is 2 × purge_after —
+    // exactly the max_timeout budget the paper grants).
+    let mut config = ScenarioConfig {
+        seed: 5,
+        n: 25,
+        sim: byzcast::sim::SimConfig {
+            field: byzcast::sim::Field::new(500.0, 500.0),
+            ..byzcast::sim::SimConfig::default()
+        },
+        ..ScenarioConfig::default()
+    };
+    config.byzcast.request_timeout = SimDuration::from_secs(1);
+    config.byzcast.purge_after = SimDuration::from_secs(1);
+    let workload = Workload {
+        senders: vec![NodeId(0)],
+        count: 40,
+        payload_bytes: 256,
+        start: SimDuration::from_secs(5),
+        interval: SimDuration::from_millis(250),
+        drain: SimDuration::from_secs(10),
+    };
+    let beta = SimDuration::from_micros(config.sim.radio.air_time_us(2700));
+    let max_timeout = config.byzcast.max_timeout(beta);
+    assert!(
+        config.byzcast.purge_after.saturating_mul(2) <= max_timeout,
+        "retention window exceeds the max_timeout budget"
+    );
+    let bound = (max_timeout.as_secs_f64() * workload.delta()).ceil() as usize;
+
+    let mut sim = config.build_wire_sim();
+    for (at, sender, payload_id, size) in workload.schedule() {
+        sim.schedule_app_broadcast(at, sender, payload_id, size);
+    }
+    sim.run_until(SimTime::ZERO + workload.horizon());
+    let mut max_hw = 0;
+    for i in 0..config.n as u32 {
+        if let Some(node) = byz_view(&sim, NodeId(i)) {
+            let hw = node.store().high_water();
+            max_hw = max_hw.max(hw);
+            assert!(hw <= bound, "node {i} buffered {hw} > static bound {bound}");
+        }
+    }
+    assert!(max_hw > 1, "scenario too trivial to exercise the bound");
+}
+
+#[test]
 fn dissemination_time_scales_linearly_not_worse() {
     // Sanity on the bound's *shape*: doubling the chain roughly doubles the
     // worst-case latency, it does not square it.

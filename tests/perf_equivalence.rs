@@ -10,6 +10,7 @@
 //! the test masks them after asserting the cached run actually used the
 //! cache.
 
+use byzcast_core::ResourceConfig;
 use byzcast_harness::record::{run_record, RecordMeta};
 use byzcast_harness::{MobilityChoice, ScenarioConfig, Workload};
 use byzcast_sim::{Field, SimConfig, SimDuration};
@@ -91,6 +92,67 @@ fn optimized_run_is_byte_identical_to_naive_for_three_seeds() {
         assert_eq!(
             record(&naive),
             record(&optimized),
+            "seed {seed}: JSONL records diverged"
+        );
+    }
+}
+
+#[test]
+fn generous_governance_envelope_is_decision_free() {
+    // The resource-governance layer must be pure bookkeeping until a limit
+    // actually binds: a run under an envelope too generous to ever deny
+    // anything must match the ungoverned run in every simulation observable.
+    // The only tolerated difference is the `resources` stats section itself,
+    // which exists precisely when governance is on — the test asserts the
+    // stats prove traffic flowed through the admission path, then masks the
+    // section and requires byte-identical summaries and JSONL records.
+    let generous = ResourceConfig {
+        frames_per_sec: 1_000_000,
+        frame_burst: 1_000_000,
+        verifs_per_sec: 1_000_000,
+        verif_burst: 1_000_000,
+        max_store_msgs: 1 << 30,
+        max_store_bytes: 1 << 40,
+        max_seen_ids: 1 << 30,
+        max_gossip_per_origin: 1 << 30,
+        max_missing_per_origin: 1 << 30,
+    };
+    for seed in [1, 2, 3] {
+        let ungoverned = scenario(seed, true).run(&workload());
+        let mut governed_scenario = scenario(seed, true);
+        governed_scenario.byzcast.resources = generous;
+        let mut governed = governed_scenario.run(&workload());
+
+        let stats = governed.resources.take().expect("governed stats");
+        assert!(
+            stats.frames_admitted > 0 && stats.verifs_charged > 0,
+            "seed {seed}: the admission path was never exercised: {stats:?}"
+        );
+        assert_eq!(
+            stats.frames_dropped + stats.verifs_dropped + stats.store_rejects + stats.quota_drops,
+            0,
+            "seed {seed}: a generous envelope denied something: {stats:?}"
+        );
+        assert_eq!(ungoverned, governed, "seed {seed}: summaries diverged");
+
+        let params = vec![("seed".to_owned(), seed.to_string())];
+        let record = |summary| {
+            run_record(
+                &RecordMeta {
+                    experiment: "perf_equivalence",
+                    label: "mobile-40-governed",
+                    params: &params,
+                    seed,
+                    run_index: 0,
+                    wall_ms: 0.0,
+                },
+                summary,
+                &[],
+            )
+        };
+        assert_eq!(
+            record(&ungoverned),
+            record(&governed),
             "seed {seed}: JSONL records diverged"
         );
     }
