@@ -22,13 +22,14 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use byzcast_harness::chaos::{case_size, soak, violation_counts, CORPUS_HEADER};
+use byzcast_harness::chaos::{case_size, soak, violation_counts, ChaosProfile, CORPUS_HEADER};
 use byzcast_harness::{default_threads, parse_case, run_case, shrink, ChaosCase};
 
 const USAGE: &str = "\
 usage: chaos run [--runs N] [--seed-start S] [--quick] [--threads N]
-                 [--results-dir DIR] [--corpus-dir DIR] [--max-minutes M]
-                 [--shrink-budget B] [--no-progress]
+                 [--profile standard|crash-heavy] [--results-dir DIR]
+                 [--corpus-dir DIR] [--max-minutes M] [--shrink-budget B]
+                 [--no-progress]
        chaos replay <file>...
        chaos shrink <file> [--shrink-budget B]";
 
@@ -42,6 +43,7 @@ struct RunOpts {
     max_minutes: Option<f64>,
     shrink_budget: usize,
     progress: bool,
+    profile: ChaosProfile,
 }
 
 impl Default for RunOpts {
@@ -56,6 +58,7 @@ impl Default for RunOpts {
             max_minutes: None,
             shrink_budget: 150,
             progress: true,
+            profile: ChaosProfile::Standard,
         }
     }
 }
@@ -105,6 +108,11 @@ fn cmd_run(mut args: impl Iterator<Item = String>) -> ExitCode {
                     .parse()
                     .expect("--shrink-budget: not a number")
             }
+            "--profile" => {
+                let spec = value("--profile");
+                opts.profile = ChaosProfile::parse(&spec)
+                    .unwrap_or_else(|| panic!("--profile: unknown profile {spec}"));
+            }
             "--no-progress" => opts.progress = false,
             other => {
                 eprintln!("unknown flag {other}\n{USAGE}");
@@ -141,6 +149,7 @@ fn cmd_run(mut args: impl Iterator<Item = String>) -> ExitCode {
             batch,
             opts.quick,
             opts.threads,
+            opts.profile,
         );
         executed += batch;
         for outcome in outcomes {

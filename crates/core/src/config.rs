@@ -4,6 +4,7 @@ use byzcast_fd::{MuteConfig, TrustConfig, VerboseConfig};
 use byzcast_overlay::OverlayKind;
 use byzcast_sim::SimDuration;
 
+use crate::recovery::RecoveryConfig;
 use crate::resources::ResourceConfig;
 use crate::stability::PurgePolicy;
 
@@ -55,6 +56,15 @@ pub struct ByzcastConfig {
     pub max_requests_per_msg: u32,
     /// Minimum spacing between retries for the same missing message.
     pub request_retry_spacing: SimDuration,
+    /// A holder answers a given message id at most once per this window
+    /// (response-implosion suppression). Historically this aliased
+    /// `request_retry_spacing`, which silently swallowed legitimate retries:
+    /// the responder's window starts at its (jittered) *serve* time, so a
+    /// retry spaced exactly `request_retry_spacing` after the original
+    /// request landed inside the window and was dropped. Must leave at least
+    /// one `rebroadcast_timeout` of slack below `request_retry_spacing` so a
+    /// properly spaced retry always clears the window.
+    pub response_serve_window: SimDuration,
     /// Capacity (entries per LRU generation) of each node's signature-
     /// verification cache; `0` disables caching so every reception
     /// re-verifies. Caching never changes verdicts — only how often the
@@ -66,6 +76,12 @@ pub struct ByzcastConfig {
     /// (every limit `0` = unlimited) reproduces ungoverned behaviour bit for
     /// bit.
     pub resources: ResourceConfig,
+    /// Recovery-escalation envelope: widened `REQUEST` retries with capped
+    /// exponential backoff, TTL-bumped `FIND_MISSING` floods, and immediate
+    /// overlay re-election when a neighbour is indicted or its beacons
+    /// expire. The default ([`RecoveryConfig::off`]) reproduces the
+    /// pre-escalation protocol bit for bit.
+    pub recovery: RecoveryConfig,
 }
 
 impl Default for ByzcastConfig {
@@ -87,8 +103,10 @@ impl Default for ByzcastConfig {
             gossip_advertise_rounds: 3,
             max_requests_per_msg: 5,
             request_retry_spacing: SimDuration::from_millis(1000),
+            response_serve_window: SimDuration::from_millis(500),
             sig_cache_capacity: 512,
             resources: ResourceConfig::unlimited(),
+            recovery: RecoveryConfig::off(),
         }
     }
 }
@@ -122,6 +140,28 @@ impl ByzcastConfig {
         }
         if self.purge_after < self.gossip_period {
             return Err("purge_after must be at least one gossip period".into());
+        }
+        if self.response_serve_window == SimDuration::ZERO {
+            return Err("response_serve_window must be positive".into());
+        }
+        if self.response_serve_window + self.rebroadcast_timeout > self.request_retry_spacing {
+            return Err(
+                "response_serve_window + rebroadcast_timeout must not exceed \
+                 request_retry_spacing, or properly spaced retries are \
+                 swallowed by the responder's serve window"
+                    .into(),
+            );
+        }
+        if self.recovery.escalation_enabled() {
+            if self.recovery.backoff_base == SimDuration::ZERO {
+                return Err("recovery.backoff_base must be positive when escalating".into());
+            }
+            if self.recovery.backoff_cap < self.recovery.backoff_base {
+                return Err("recovery.backoff_cap must be at least backoff_base".into());
+            }
+            if self.recovery.widen_fanout == 0 {
+                return Err("recovery.widen_fanout must be positive when escalating".into());
+            }
         }
         Ok(())
     }
@@ -168,6 +208,57 @@ mod tests {
         assert!(bad.validate().is_err());
         let bad = ByzcastConfig {
             fd_tick: SimDuration::ZERO,
+            ..base
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn validation_keeps_serve_window_clear_of_retry_spacing() {
+        let base = ByzcastConfig::default();
+        let bad = ByzcastConfig {
+            response_serve_window: SimDuration::ZERO,
+            ..base.clone()
+        };
+        assert!(bad.validate().is_err());
+        // The historical aliasing — serve window == retry spacing — no
+        // longer validates: it leaves no slack for the responder's jitter.
+        let bad = ByzcastConfig {
+            response_serve_window: base.request_retry_spacing,
+            ..base.clone()
+        };
+        assert!(bad.validate().is_err());
+        let ok = ByzcastConfig {
+            response_serve_window: base.request_retry_spacing
+                - base.rebroadcast_timeout
+                - SimDuration::from_millis(1),
+            ..base
+        };
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_checks_escalation_fields() {
+        use crate::recovery::RecoveryConfig;
+        let base = ByzcastConfig::default();
+        let ok = ByzcastConfig {
+            recovery: RecoveryConfig::standard(),
+            ..base.clone()
+        };
+        assert!(ok.validate().is_ok());
+        let bad = ByzcastConfig {
+            recovery: RecoveryConfig {
+                backoff_base: SimDuration::ZERO,
+                ..RecoveryConfig::standard()
+            },
+            ..base.clone()
+        };
+        assert!(bad.validate().is_err());
+        let bad = ByzcastConfig {
+            recovery: RecoveryConfig {
+                widen_fanout: 0,
+                ..RecoveryConfig::standard()
+            },
             ..base
         };
         assert!(bad.validate().is_err());

@@ -52,6 +52,7 @@
 pub mod config;
 pub mod message;
 pub mod protocol;
+pub mod recovery;
 pub mod resources;
 pub mod stability;
 pub mod store;
@@ -61,6 +62,7 @@ pub use message::{
     BeaconMsg, DataMsg, FindMissingMsg, GossipEntry, GossipMsg, MessageId, RequestMsg, WireMsg,
 };
 pub use protocol::{ByzcastNode, ProtocolCounters};
+pub use recovery::{RecoveryConfig, RecoveryStats};
 pub use resources::{ResourceConfig, ResourceStats};
 pub use stability::{PurgePolicy, StabilityTracker};
 pub use store::{MessageStore, StoredMsg};

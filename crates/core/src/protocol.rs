@@ -33,6 +33,7 @@ use crate::config::ByzcastConfig;
 use crate::message::{
     BeaconMsg, DataMsg, FindMissingMsg, GossipEntry, GossipMsg, MessageId, RequestMsg, WireMsg,
 };
+use crate::recovery::RecoveryStats;
 use crate::resources::{Governor, ResourceStats};
 use crate::stability::{PurgePolicy, StabilityTracker};
 use crate::store::MessageStore;
@@ -174,6 +175,9 @@ pub struct ByzcastNode {
     beacon_scratch: Vec<u8>,
     /// Admission control and verification budgets (resource governance).
     governor: Governor,
+    /// Escalated-recovery and overlay-repair accounting (only reported when
+    /// the `ByzcastConfig::recovery` envelope is enabled).
+    recovery_stats: RecoveryStats,
     /// Peak `active_gossip` size (resource-stats high-water mark).
     peak_active_gossip: usize,
     /// Peak `missing` size (resource-stats high-water mark).
@@ -251,6 +255,7 @@ impl ByzcastNode {
             stability: StabilityTracker::new(),
             beacon_scratch: Vec::new(),
             governor,
+            recovery_stats: RecoveryStats::default(),
             peak_active_gossip: 0,
             peak_missing: 0,
         }
@@ -310,6 +315,12 @@ impl ByzcastNode {
         s
     }
 
+    /// Recovery-escalation statistics: widened retries, escalated searches,
+    /// escalation high-water, and liveness-driven overlay repairs.
+    pub fn recovery_stats(&self) -> &RecoveryStats {
+        &self.recovery_stats
+    }
+
     /// The neighbour table.
     pub fn table(&self) -> &NeighborTable {
         &self.table
@@ -362,6 +373,18 @@ impl ByzcastNode {
 
     fn neighbor_is_overlay(&self, node: NodeId) -> bool {
         self.table.info(node).is_some_and(|i| i.role.is_active())
+    }
+
+    /// Total request rounds allowed per missing message: the plain retry cap
+    /// normally, or unicast rounds + widened rounds when the recovery
+    /// envelope escalates.
+    fn request_cap(&self) -> u32 {
+        let rec = &self.config.recovery;
+        if rec.escalation_enabled() {
+            rec.escalate_after.saturating_add(rec.max_escalations)
+        } else {
+            self.config.max_requests_per_msg
+        }
     }
 
     fn suspect(&mut self, now: SimTime, node: NodeId, reason: SuspicionReason) {
@@ -598,8 +621,9 @@ impl ByzcastNode {
             ctx.rng()
                 .gen_range_u64(self.config.request_timeout.as_micros().max(2) / 2),
         );
+        let cap = self.request_cap();
         let ms = self.missing.get_mut(&e.id).expect("just inserted");
-        let may_request = ms.requests_sent < self.config.max_requests_per_msg
+        let may_request = ms.requests_sent < cap
             && now.saturating_since(ms.last_request) >= self.config.request_retry_spacing;
         if may_request && ms.request_due.is_none() {
             let due = now + self.config.request_timeout + originator_grace + jitter;
@@ -617,6 +641,8 @@ impl ByzcastNode {
             .filter(|(_, ms)| ms.request_due.is_some_and(|d| d <= now))
             .map(|(&id, _)| id)
             .collect();
+        let rec = self.config.recovery;
+        let cap = self.request_cap();
         for id in due_ids {
             let Some(ms) = self.missing.get_mut(&id) else {
                 continue;
@@ -629,25 +655,78 @@ impl ByzcastNode {
                 continue;
             };
             let entry = ms.entry;
+            let round = ms.requests_sent;
             ms.requests_sent += 1;
             ms.last_request = now;
-            // Self-re-arm while retries remain, so recovery does not depend
-            // on hearing the gossip again (advertisement windows close).
-            if ms.requests_sent < self.config.max_requests_per_msg {
-                ms.request_due = Some(now + self.config.request_retry_spacing);
+            if rec.escalation_enabled() && round >= rec.escalate_after {
+                // Escalated round: the remembered gossiper has gone
+                // `escalate_after` rounds without answering — on a thin
+                // chain it may be the crashed node itself, so stop trusting
+                // it. Widen the request to a rotating window of trusted
+                // neighbours (non-dominators included) and flood a
+                // TTL-bumped search so recovery no longer depends on a
+                // healthy two-hop overlay path.
+                let level = round - rec.escalate_after; // 0-based widened round
+                if ms.requests_sent < cap {
+                    ms.request_due = Some(now + rec.backoff(level));
+                }
+                let peers: Vec<NodeId> = self
+                    .table
+                    .iter()
+                    .filter(|&(id, _)| self.fds.trust.level(id, now) != TrustLevel::Untrusted)
+                    .map(|(id, _)| id)
+                    .collect();
+                let widened: Vec<NodeId> = if peers.is_empty() {
+                    Vec::new()
+                } else {
+                    let start = (level as usize).wrapping_mul(rec.widen_fanout) % peers.len();
+                    (0..rec.widen_fanout.min(peers.len()))
+                        .map(|i| peers[(start + i) % peers.len()])
+                        .collect()
+                };
+                for peer in widened {
+                    ctx.send(WireMsg::Request(RequestMsg {
+                        entry,
+                        target: peer,
+                    }));
+                    self.counters.requests_sent += 1;
+                    self.recovery_stats.requests_widened += 1;
+                    // Deliberately no MUTE expectation: unlike the
+                    // remembered gossiper, a widened target never
+                    // advertised the message and may legitimately lack it.
+                }
+                ctx.send(WireMsg::FindMissing(FindMissingMsg {
+                    entry,
+                    target: self.id,
+                    ttl: rec.find_ttl.max(2),
+                }));
+                self.counters.finds_sent += 1;
+                self.recovery_stats.finds_escalated += 1;
+                self.recovery_stats.peak_escalation = self
+                    .recovery_stats
+                    .peak_escalation
+                    .max(u64::from(level) + 1);
+            } else {
+                // Self-re-arm while retries remain, so recovery does not
+                // depend on hearing the gossip again (advertisement windows
+                // close).
+                if ms.requests_sent < cap {
+                    ms.request_due = Some(now + self.config.request_retry_spacing);
+                }
+                // Line 32: ask the gossiper and the overlay neighbours (one
+                // broadcast reaches both; handlers filter by role/target).
+                ctx.send(WireMsg::Request(RequestMsg { entry, target }));
+                self.counters.requests_sent += 1;
+                self.recovery_stats.requests_originated += 1;
+                // Line 28: the targeted gossiper advertised the message, so
+                // it must supply it now; anyone's rebroadcast satisfies this.
+                self.fds.mute.expect(
+                    now,
+                    HeaderPattern::data_msg(entry.id.origin, entry.id.seq),
+                    &[target],
+                    ExpectMode::One,
+                );
             }
-            // Line 32: ask the gossiper and the overlay neighbours (one
-            // broadcast reaches both; handlers filter by role/target).
-            ctx.send(WireMsg::Request(RequestMsg { entry, target }));
-            self.counters.requests_sent += 1;
-            // Line 28: the targeted gossiper advertised the message, so it
-            // must supply it now; anyone's rebroadcast satisfies this.
-            self.fds.mute.expect(
-                now,
-                HeaderPattern::data_msg(entry.id.origin, entry.id.seq),
-                &[target],
-                ExpectMode::One,
-            );
         }
         for ms in self.missing.values() {
             if let Some(d) = ms.request_due {
@@ -666,11 +745,16 @@ impl ByzcastNode {
     /// suppress on overhearing it.
     fn schedule_response(&mut self, ctx: &mut Context<'_, WireMsg>, id: MessageId, ttl: u8) {
         let now = ctx.now();
-        // Serve each id at most once per retry-spacing window: collisions
-        // can hide other holders' answers from us, and without this cap a
-        // burst of requests turns every holder into a responder.
+        // Serve each id at most once per serve window: collisions can hide
+        // other holders' answers from us, and without this cap a burst of
+        // requests turns every holder into a responder. The window is
+        // deliberately shorter than `request_retry_spacing` (validated in
+        // config) — the two used to share one knob, and because this window
+        // starts at the jittered *serve* time, a retry spaced exactly one
+        // retry window after the original request landed inside it and was
+        // silently refused.
         if let Some(&last) = self.served_recently.get(&id) {
-            if now.saturating_since(last) < self.config.request_retry_spacing {
+            if now.saturating_since(last) < self.config.response_serve_window {
                 return;
             }
         }
@@ -783,14 +867,18 @@ impl ByzcastNode {
         self.fds
             .verbose
             .observe_arrival(now, from, MsgKind::FindMissingMsg);
+        // An escalated search (TTL above the paper's fixed 2) only exists
+        // when the recovery envelope is on; its searcher is known to be
+        // stranded, so holders of *any* role answer and nobody indicts it.
+        let escalated = self.config.recovery.escalation_enabled() && f.ttl > 2;
         if self.store.has(f.entry.id) {
             // Lines 68–77.
-            if self.role.is_active() || self.id == f.target {
+            if self.role.is_active() || self.id == f.target || escalated {
                 if self.table.contains(from) {
                     // Line 69–73: the searcher is our direct neighbour — an
                     // overlay node must already have broadcast to it, so the
                     // search counts against it; answer locally.
-                    if self.role.is_active() {
+                    if self.role.is_active() && !escalated {
                         self.fds.verbose.indict(now, from);
                     }
                     self.schedule_response(ctx, f.entry.id, 1);
@@ -800,18 +888,22 @@ impl ByzcastNode {
                     self.schedule_response(ctx, f.entry.id, 2);
                 }
             }
-        } else if f.ttl == 2 {
+        } else if f.ttl == 2 || (escalated && f.ttl <= self.config.recovery.find_ttl.max(2)) {
             // Lines 63–66: keep flooding one more hop — but re-flood each
             // searched id at most once per window, or one search sweeping a
             // dense region is amplified by every node that lacks the
-            // message.
+            // message. Escalated searches decrement hop by hop the same way,
+            // so a TTL-bumped flood travels `find_ttl` hops in total.
             let fresh = match self.finds_forwarded.get(&f.entry.id) {
                 Some(&last) => now.saturating_since(last) >= self.config.request_retry_spacing,
                 None => true,
             };
             if fresh {
                 self.finds_forwarded.insert(f.entry.id, now);
-                ctx.send(WireMsg::FindMissing(FindMissingMsg { ttl: 1, ..*f }));
+                ctx.send(WireMsg::FindMissing(FindMissingMsg {
+                    ttl: f.ttl - 1,
+                    ..*f
+                }));
             }
         }
     }
@@ -968,14 +1060,54 @@ impl ByzcastNode {
         self.fds.tick(now);
         // Log TRUST transitions for the interval-FD analyses.
         let current: BTreeSet<NodeId> = self.fds.trust.untrusted(now).into_iter().collect();
-        for &n in current.difference(&self.prev_untrusted.clone()) {
+        let fresh: Vec<NodeId> = current.difference(&self.prev_untrusted).copied().collect();
+        for &n in &fresh {
             self.sus_log.begin(now, self.id, n);
         }
-        for &n in self.prev_untrusted.clone().difference(&current) {
+        for &n in self.prev_untrusted.difference(&current) {
             self.sus_log.end(now, self.id, n);
         }
         self.prev_untrusted = current;
+        if self.config.recovery.reelect_on_indictment {
+            // Liveness-driven overlay repair: a freshly indicted neighbour —
+            // or one whose beacons expired — otherwise lingers in the table
+            // until the next beacon round, absorbing unicast REQUESTs and
+            // holding its (possibly dominator) role in our view. Purge it
+            // and re-run the overlay decision now, at fd_tick granularity,
+            // so a crashed dominator's role is re-assigned within one
+            // beacon period.
+            let before = self.table.len();
+            for &n in &fresh {
+                self.table.remove(n);
+            }
+            self.table.prune(now);
+            let purged = (before - self.table.len()) as u64;
+            self.recovery_stats.neighbors_purged += purged;
+            if purged > 0 || !fresh.is_empty() {
+                self.reelect(now);
+            }
+        }
         ctx.set_timer_after(self.config.fd_tick, timers::FD);
+    }
+
+    /// Re-runs the overlay decision outside the beacon cycle. On a role or
+    /// marked change the next gossip tick advertises it immediately (the
+    /// beacon is forced due), so neighbours learn of the repair within one
+    /// gossip period instead of one beacon period.
+    fn reelect(&mut self, now: SimTime) {
+        let trust_view = TrustAt {
+            trust: &self.fds.trust,
+            now,
+        };
+        let decision = self
+            .overlay_protocol
+            .decide(self.id, &self.table, &trust_view);
+        if decision.role != self.role || decision.marked != self.marked {
+            self.role = decision.role;
+            self.marked = decision.marked;
+            self.last_beacon = None;
+            self.recovery_stats.reelections += 1;
+        }
     }
 
     fn purge_tick(&mut self, ctx: &mut Context<'_, WireMsg>) {
@@ -1737,7 +1869,6 @@ mod tests {
     fn request_retries_are_capped() {
         let config = ByzcastConfig {
             max_requests_per_msg: 2,
-            request_retry_spacing: SimDuration::ZERO,
             ..ByzcastConfig::default()
         };
         let mut h = Harness::new(1, config);
@@ -1753,6 +1884,303 @@ mod tests {
             let _ = round;
         }
         assert_eq!(h.node.counters().requests_sent, 2);
+    }
+
+    #[test]
+    fn escalation_widens_requests_and_bumps_find_ttl() {
+        use crate::recovery::RecoveryConfig;
+        let config = ByzcastConfig {
+            recovery: RecoveryConfig::standard(), // escalate_after 2, fanout 3, ttl 3
+            ..ByzcastConfig::default()
+        };
+        let mut h = Harness::new(1, config);
+        // Three trusted neighbours the widened rounds can target.
+        let t0 = SimTime::from_millis(500);
+        for n in [9u32, 10, 11] {
+            let b = h.beacon_from(n, OverlayRole::Passive);
+            h.drive(t0, |node, ctx| {
+                node.on_packet(ctx, NodeId(n), &WireMsg::Beacon(b))
+            });
+        }
+        // Node 5 gossips a message we never receive.
+        let m = h.data_from(0, 1);
+        let g = GossipMsg::of_entries(vec![m.gossip_entry()]);
+        let t1 = SimTime::from_secs(1);
+        h.drive(t1, |n, ctx| {
+            n.on_packet(ctx, NodeId(5), &WireMsg::Gossip(g))
+        });
+        // Rounds 0 and 1: plain unicast retries to the remembered gossiper.
+        for s in [2u64, 3] {
+            let (_, actions) = h.drive(SimTime::from_secs(s), |n, ctx| n.flush_requests(ctx));
+            let reqs: Vec<_> = sends(&actions)
+                .into_iter()
+                .filter(|m| matches!(m, WireMsg::Request(_)))
+                .collect();
+            assert_eq!(reqs.len(), 1, "round at t={s}s must stay unicast");
+            assert!(
+                matches!(reqs[0], WireMsg::Request(r) if r.target == NodeId(5)),
+                "plain rounds target the remembered gossiper"
+            );
+        }
+        assert_eq!(h.node.recovery_stats().requests_originated, 2);
+        assert_eq!(h.node.recovery_stats().requests_widened, 0);
+        // Round 2: the gossiper never answered — widen to the trusted
+        // neighbours and flood a TTL-bumped search.
+        let (_, actions) = h.drive(SimTime::from_secs(4), |n, ctx| n.flush_requests(ctx));
+        let s = sends(&actions);
+        let targets: Vec<NodeId> = s
+            .iter()
+            .filter_map(|m| match m {
+                WireMsg::Request(r) => Some(r.target),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(targets.len(), 3, "widened round hits widen_fanout peers");
+        for t in &targets {
+            assert!(
+                [NodeId(9), NodeId(10), NodeId(11)].contains(t),
+                "widened targets come from the neighbour table, got {t:?}"
+            );
+        }
+        assert!(
+            s.iter().any(
+                |m| matches!(m, WireMsg::FindMissing(f) if f.ttl == 3 && f.target == NodeId(1))
+            ),
+            "escalation floods a TTL-bumped FIND_MISSING naming the searcher"
+        );
+        let stats = h.node.recovery_stats();
+        assert_eq!(stats.requests_widened, 3);
+        assert_eq!(stats.finds_escalated, 1);
+        assert_eq!(stats.peak_escalation, 1);
+        // The widened round re-arms on the escalation backoff (1 s at level
+        // 0), not the plain retry spacing — and keeps escalating.
+        let (_, actions) = h.drive(SimTime::from_secs(5), |n, ctx| n.flush_requests(ctx));
+        assert!(
+            !sends(&actions).is_empty(),
+            "level-1 round fires after backoff"
+        );
+        assert_eq!(h.node.recovery_stats().peak_escalation, 2);
+        // Total request budget: escalate_after + max_escalations rounds.
+        for s in 6..30u64 {
+            h.drive(SimTime::from_secs(s), |n, ctx| n.flush_requests(ctx));
+        }
+        assert_eq!(
+            h.node.recovery_stats().requests_originated + h.node.recovery_stats().finds_escalated,
+            6,
+            "request rounds are capped at escalate_after + max_escalations"
+        );
+    }
+
+    #[test]
+    fn widened_requests_register_no_mute_expectations() {
+        use crate::recovery::RecoveryConfig;
+        let config = ByzcastConfig {
+            recovery: RecoveryConfig {
+                escalate_after: 1,
+                ..RecoveryConfig::standard()
+            },
+            ..ByzcastConfig::default()
+        };
+        let mut h = Harness::new(1, config);
+        let t0 = SimTime::from_millis(500);
+        let b = h.beacon_from(9, OverlayRole::Passive);
+        h.drive(t0, |node, ctx| {
+            node.on_packet(ctx, NodeId(9), &WireMsg::Beacon(b))
+        });
+        let m = h.data_from(0, 1);
+        let g = GossipMsg::of_entries(vec![m.gossip_entry()]);
+        h.drive(SimTime::from_secs(1), |n, ctx| {
+            n.on_packet(ctx, NodeId(5), &WireMsg::Gossip(g))
+        });
+        // Round 0 unicast (registers a MUTE expect on the gossiper), round 1
+        // widened (must NOT put node 9 on notice — it never advertised the
+        // message and may legitimately lack it).
+        h.drive(SimTime::from_secs(2), |n, ctx| n.flush_requests(ctx));
+        h.drive(SimTime::from_secs(3), |n, ctx| n.flush_requests(ctx));
+        assert!(h.node.recovery_stats().requests_widened > 0);
+        // Let every MUTE expectation deadline lapse, then tick: only the
+        // remembered gossiper (node 5) may be suspected.
+        let late = SimTime::from_secs(60);
+        h.drive(late, |n, ctx| n.fd_tick(ctx));
+        assert_eq!(h.node.trust_level(NodeId(9), late), TrustLevel::Trusted);
+    }
+
+    #[test]
+    fn spaced_retry_clears_the_serve_window() {
+        // Satellite regression: the responder's per-id serve window used to
+        // alias `request_retry_spacing`. Because the window starts at the
+        // *jittered serve time* (up to `rebroadcast_timeout` after the
+        // request), a retry spaced exactly `request_retry_spacing` after the
+        // original request landed `jitter` short of the window and was
+        // silently refused — the requester burned a retry for nothing.
+        let mut h = Harness::new(1, ByzcastConfig::default());
+        let m = h.data_from(0, 1);
+        let id = m.id;
+        h.drive(SimTime::from_millis(100), |n, ctx| {
+            n.on_packet(ctx, NodeId(0), &WireMsg::Data(m))
+        });
+        // Original request at t=580 ms; our response served at t=600 ms
+        // (20 ms of rebroadcast jitter).
+        h.node.served_recently.insert(id, SimTime::from_millis(600));
+        // The requester retries exactly one spacing after its request:
+        // t = 580 + 1000 = 1580 ms — 980 ms after the serve. Under the old
+        // aliased knob (window == spacing == 1000 ms) this was refused.
+        let entry = h.data_from(0, 1).gossip_entry();
+        let t_retry = SimTime::from_millis(1580);
+        h.drive(t_retry, |n, ctx| {
+            n.on_packet(
+                ctx,
+                NodeId(7),
+                &WireMsg::Request(RequestMsg {
+                    entry,
+                    target: NodeId(1),
+                }),
+            )
+        });
+        let (_, actions) = h.drive(t_retry + SimDuration::from_millis(60), |n, ctx| {
+            n.flush_responses(ctx)
+        });
+        assert!(
+            sends(&actions)
+                .iter()
+                .any(|m| matches!(m, WireMsg::Data(d) if d.id == id)),
+            "a retry spaced request_retry_spacing after the original must be served"
+        );
+        // The window still suppresses genuinely bursty duplicates: a second
+        // request inside `response_serve_window` of the serve is refused.
+        let t_burst = t_retry + SimDuration::from_millis(200);
+        h.drive(t_burst, |n, ctx| {
+            n.on_packet(
+                ctx,
+                NodeId(8),
+                &WireMsg::Request(RequestMsg {
+                    entry,
+                    target: NodeId(1),
+                }),
+            )
+        });
+        let (_, actions) = h.drive(t_burst + SimDuration::from_millis(60), |n, ctx| {
+            n.flush_responses(ctx)
+        });
+        assert!(
+            sends(&actions).is_empty(),
+            "requests inside the serve window stay suppressed"
+        );
+    }
+
+    #[test]
+    fn mute_indictment_purges_neighbor_and_reelects() {
+        use crate::recovery::RecoveryConfig;
+        let config = ByzcastConfig {
+            recovery: RecoveryConfig::standard(),
+            ..ByzcastConfig::default()
+        };
+        let mut h = Harness::new(1, config);
+        let t0 = SimTime::from_secs(1);
+        for n in [9u32, 10] {
+            let b = h.beacon_from(n, OverlayRole::Dominator);
+            h.drive(t0, |node, ctx| {
+                node.on_packet(ctx, NodeId(n), &WireMsg::Beacon(b))
+            });
+        }
+        assert!(h.node.table.contains(NodeId(9)));
+        // Node 9 is caught misbehaving.
+        let t1 = t0 + SimDuration::from_millis(50);
+        h.drive(t1, |n, ctx| {
+            let _ = ctx;
+            n.suspect(t1, NodeId(9), SuspicionReason::BadSignature);
+        });
+        // The very next fd tick purges it — no waiting for beacon-record
+        // expiry, during which it would keep absorbing unicast REQUESTs.
+        let t2 = t1 + SimDuration::from_millis(100);
+        h.drive(t2, |n, ctx| n.fd_tick(ctx));
+        assert!(
+            !h.node.table.contains(NodeId(9)),
+            "indicted neighbour must leave the table at the next fd tick"
+        );
+        assert!(
+            h.node.table.contains(NodeId(10)),
+            "uninvolved neighbours stay"
+        );
+        assert!(h.node.recovery_stats().neighbors_purged >= 1);
+    }
+
+    #[test]
+    fn indicted_neighbor_lingers_when_recovery_is_off() {
+        let mut h = Harness::new(1, ByzcastConfig::default());
+        let t0 = SimTime::from_secs(1);
+        let b = h.beacon_from(9, OverlayRole::Dominator);
+        h.drive(t0, |node, ctx| {
+            node.on_packet(ctx, NodeId(9), &WireMsg::Beacon(b))
+        });
+        let t1 = t0 + SimDuration::from_millis(50);
+        h.drive(t1, |n, ctx| {
+            let _ = ctx;
+            n.suspect(t1, NodeId(9), SuspicionReason::BadSignature);
+        });
+        let t2 = t1 + SimDuration::from_millis(100);
+        h.drive(t2, |n, ctx| n.fd_tick(ctx));
+        // Documents the pre-recovery behaviour the default-off envelope
+        // preserves: the entry survives until beacon-record expiry.
+        assert!(h.node.table.contains(NodeId(9)));
+        assert_eq!(h.node.recovery_stats().neighbors_purged, 0);
+    }
+
+    #[test]
+    fn escalated_find_refloods_beyond_two_hops_and_passive_holders_serve() {
+        use crate::recovery::RecoveryConfig;
+        let config = ByzcastConfig {
+            recovery: RecoveryConfig::standard(), // find_ttl 3
+            ..ByzcastConfig::default()
+        };
+        let entry = Harness::new(0, ByzcastConfig::default())
+            .data_from(0, 1)
+            .gossip_entry();
+        let find = |ttl| {
+            WireMsg::FindMissing(FindMissingMsg {
+                entry,
+                target: NodeId(7),
+                ttl,
+            })
+        };
+        // A non-holder refloods a TTL-3 search (plain protocol stops at 2).
+        let mut h = Harness::new(1, config.clone());
+        let t = SimTime::from_secs(1);
+        let (_, actions) = h.drive(t, |n, ctx| n.on_packet(ctx, NodeId(7), &find(3)));
+        assert!(
+            sends(&actions)
+                .iter()
+                .any(|m| matches!(m, WireMsg::FindMissing(f) if f.ttl == 2)),
+            "escalated searches decrement hop by hop past the paper's 2"
+        );
+        // With the envelope off, a TTL-3 search is inert at a non-holder.
+        let mut h = Harness::new(1, ByzcastConfig::default());
+        let (_, actions) = h.drive(t, |n, ctx| n.on_packet(ctx, NodeId(7), &find(3)));
+        assert!(sends(&actions).is_empty());
+        // A *passive* holder serves an escalated search (plain TTL-2 ones
+        // are only served by overlay nodes and the targeted gossiper).
+        let mut h = Harness::new(1, config);
+        let m = h.data_from(0, 1);
+        h.drive(t, |n, ctx| n.on_packet(ctx, NodeId(0), &WireMsg::Data(m)));
+        h.drive(t, |n, ctx| n.on_packet(ctx, NodeId(7), &find(3)));
+        let (_, actions) = h.drive(t + SimDuration::from_millis(60), |n, ctx| {
+            n.flush_responses(ctx)
+        });
+        assert!(
+            sends(&actions)
+                .iter()
+                .any(|m| matches!(m, WireMsg::Data(_))),
+            "passive holders answer escalated searches"
+        );
+        // ...but stay silent for plain TTL-2 searches, as in the paper.
+        let mut h = Harness::new(1, ByzcastConfig::default());
+        let m = h.data_from(0, 1);
+        h.drive(t, |n, ctx| n.on_packet(ctx, NodeId(0), &WireMsg::Data(m)));
+        h.drive(t, |n, ctx| n.on_packet(ctx, NodeId(7), &find(2)));
+        let (_, actions) = h.drive(t + SimDuration::from_millis(60), |n, ctx| {
+            n.flush_responses(ctx)
+        });
+        assert!(sends(&actions).is_empty());
     }
 
     #[test]

@@ -14,7 +14,7 @@ use std::collections::BTreeMap;
 use byzcast_adversary::{FlapBehavior, MutePolicy, SabotageKind};
 use byzcast_sim::{FaultKind, Field, NodeId, Position, SimConfig, SimDuration, SimRng};
 
-use byzcast_core::ResourceConfig;
+use byzcast_core::{RecoveryConfig, ResourceConfig};
 
 use crate::oracle::{check_run, paper_envelope, standard_oracles, CheckedRun, Violation};
 use crate::par::par_map;
@@ -35,6 +35,31 @@ pub struct ChaosCase {
     /// Expected per-oracle violation counts (empty for healthy cases; a
     /// persisted reproducer records what it reproduces).
     pub expect: Vec<(String, u64)>,
+}
+
+/// Which generator a soak draws its cases from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChaosProfile {
+    /// The full mixed space: adversaries, flappers, crash/restart pairs,
+    /// mobility, jams.
+    Standard,
+    /// Sparse, static, adversary-free topologies with several crashes —
+    /// many of them permanent. This is the space that produced the
+    /// thin-chain stranding reproducer: with no adversaries and static
+    /// mobility the semi-reliability oracle is binding on *every* case, so
+    /// any stranded-but-connected node is a violation, not noise.
+    CrashHeavy,
+}
+
+impl ChaosProfile {
+    /// Parses the CLI spelling (`standard` / `crash-heavy`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "standard" => Some(ChaosProfile::Standard),
+            "crash-heavy" => Some(ChaosProfile::CrashHeavy),
+            _ => None,
+        }
+    }
 }
 
 /// Deterministically generates one chaos case from a seed. `quick` bounds
@@ -86,6 +111,10 @@ pub fn generate_case(seed: u64, quick: bool) -> ChaosCase {
     // the bounded-resources oracle is binding on all of them — and the
     // exhaustion adversaries below cannot blow up correct nodes.
     scenario.byzcast.resources = paper_envelope();
+    // And every chaos case runs with recovery escalation on, so crash
+    // scenarios exercise the widened-retry and overlay-repair paths the
+    // thin-chain reproducer needs.
+    scenario.byzcast.recovery = RecoveryConfig::standard();
 
     // Mixed adversaries at the highest ids (never senders).
     let adv_count = rng.gen_range_u64(n as u64 / 8 + 1) as usize;
@@ -198,6 +227,82 @@ pub fn generate_case(seed: u64, quick: bool) -> ChaosCase {
 
     ChaosCase {
         name: format!("chaos-{seed:08x}"),
+        scenario,
+        workload,
+        expect: Vec::new(),
+    }
+}
+
+/// Generates one case from the given profile.
+pub fn generate_case_profiled(seed: u64, quick: bool, profile: ChaosProfile) -> ChaosCase {
+    match profile {
+        ChaosProfile::Standard => generate_case(seed, quick),
+        ChaosProfile::CrashHeavy => generate_crash_heavy(seed, quick),
+    }
+}
+
+/// The crash-heavy generator: sparse static fields (thin chains and
+/// marginal links form naturally at low density), no adversaries or jams
+/// (the semi-reliability oracle stays binding), and 2–4 crashes on correct
+/// non-senders of which a fraction never restart — the recovery layer must
+/// route around them, not wait them out.
+fn generate_crash_heavy(seed: u64, quick: bool) -> ChaosCase {
+    let mut rng = SimRng::new(seed ^ 0xCBA5_4EED);
+    let n = 16 + rng.gen_range_u64(if quick { 17 } else { 33 }) as usize;
+    // Density tuned low: scale the side with √n so the mean degree stays
+    // roughly constant and small as n grows.
+    let side = (850.0 + rng.gen_range_u64(301) as f64) * (n as f64 / 32.0).sqrt();
+
+    let sender_count = 1 + rng.gen_range_u64(2) as usize;
+    let workload = Workload {
+        senders: (0..sender_count as u32).map(NodeId).collect(),
+        count: 1 + rng.gen_range_u64(3) as usize,
+        payload_bytes: 256,
+        start: SimDuration::from_secs(5),
+        interval: SimDuration::from_millis(1000 + rng.gen_range_u64(501)),
+        drain: SimDuration::from_secs(18 + rng.gen_range_u64(7)),
+    };
+    let horizon = workload.horizon();
+
+    let mut scenario = ScenarioConfig {
+        seed,
+        n,
+        sim: SimConfig {
+            field: Field::new(side, side),
+            ..SimConfig::default()
+        },
+        mobility: MobilityChoice::Static,
+        ..ScenarioConfig::default()
+    };
+    scenario.byzcast.resources = paper_envelope();
+    scenario.byzcast.recovery = RecoveryConfig::standard();
+
+    let crash_count = 2 + rng.gen_range_u64(3) as usize;
+    let mut pool: Vec<u32> = (sender_count as u32..n as u32).collect();
+    rng.shuffle(&mut pool);
+    for &raw in pool.iter().take(crash_count) {
+        let id = NodeId(raw);
+        let latest = (horizon.as_secs_f64() as u64).saturating_sub(12).max(3);
+        let at = SimDuration::from_secs(2 + rng.gen_range_u64(latest - 2));
+        scenario.fault_plan.push(
+            at,
+            FaultKind::Crash {
+                node: id,
+                retain_state: rng.gen_f64() < 0.5,
+            },
+        );
+        // Most crashes are permanent — the hard case: the survivors must
+        // recover without the crashed node ever coming back.
+        if rng.gen_f64() < 0.4 {
+            let downtime = SimDuration::from_secs(3 + rng.gen_range_u64(6));
+            scenario
+                .fault_plan
+                .push(at + downtime, FaultKind::Restart { node: id });
+        }
+    }
+
+    ChaosCase {
+        name: format!("crashy-{seed:08x}"),
         scenario,
         workload,
         expect: Vec::new(),
@@ -349,11 +454,18 @@ pub struct SoakOutcome {
 }
 
 /// Runs `count` generated cases starting at `seed_start` across `threads`
-/// workers. Output is bit-identical for any thread count.
-pub fn soak(seed_start: u64, count: usize, quick: bool, threads: usize) -> Vec<SoakOutcome> {
+/// workers, drawing from `profile`. Output is bit-identical for any thread
+/// count.
+pub fn soak(
+    seed_start: u64,
+    count: usize,
+    quick: bool,
+    threads: usize,
+    profile: ChaosProfile,
+) -> Vec<SoakOutcome> {
     let seeds: Vec<u64> = (0..count as u64).map(|i| seed_start + i).collect();
     par_map(&seeds, threads, |i, &seed| {
-        let case = generate_case(seed, quick);
+        let case = generate_case_profiled(seed, quick, profile);
         let checked = run_case(&case);
         let params = vec![
             ("n".to_owned(), case.scenario.n.to_string()),
@@ -481,6 +593,20 @@ impl ChaosCase {
                 r.max_seen_ids,
                 r.max_gossip_per_origin,
                 r.max_missing_per_origin
+            );
+        }
+        let rec = &s.byzcast.recovery;
+        if rec.enabled() {
+            let _ = writeln!(
+                out,
+                "recovery {} {} {} {} {} {} {}",
+                rec.escalate_after,
+                rec.max_escalations,
+                millis(rec.backoff_base),
+                millis(rec.backoff_cap),
+                rec.widen_fanout,
+                rec.find_ttl,
+                u8::from(rec.reelect_on_indictment)
             );
         }
         match &s.mobility {
@@ -632,6 +758,24 @@ pub fn parse_case(text: &str) -> Result<ChaosCase, String> {
                     max_seen_ids: parse_num(rest.get(6), &err)?,
                     max_gossip_per_origin: parse_num(rest.get(7), &err)?,
                     max_missing_per_origin: parse_num(rest.get(8), &err)?,
+                };
+            }
+            "recovery" => {
+                if rest.len() != 7 {
+                    return Err(err("recovery needs 7 values"));
+                }
+                case.scenario.byzcast.recovery = RecoveryConfig {
+                    escalate_after: parse_num(rest.first(), &err)?,
+                    max_escalations: parse_num(rest.get(1), &err)?,
+                    backoff_base: SimDuration::from_millis(parse_num(rest.get(2), &err)?),
+                    backoff_cap: SimDuration::from_millis(parse_num(rest.get(3), &err)?),
+                    widen_fanout: parse_num(rest.get(4), &err)?,
+                    find_ttl: parse_num(rest.get(5), &err)?,
+                    reelect_on_indictment: match *rest.get(6).expect("len checked") {
+                        "1" => true,
+                        "0" => false,
+                        _ => return Err(err("bad reelect flag")),
+                    },
                 };
             }
             "mobility" => {
@@ -840,6 +984,49 @@ mod tests {
             let parsed = parse_case(&text).expect("parse back");
             assert_eq!(parsed.to_text(), text, "seed {seed}");
         }
+    }
+
+    #[test]
+    fn crash_heavy_profile_is_adversary_free_and_round_trips() {
+        for seed in 0..10u64 {
+            let case = generate_case_profiled(seed, true, ChaosProfile::CrashHeavy);
+            assert!(case.scenario.adversary_assignments.is_empty());
+            assert!(matches!(case.scenario.mobility, MobilityChoice::Static));
+            assert!(case.scenario.byzcast.recovery.enabled());
+            assert!(
+                case.scenario
+                    .fault_plan
+                    .events()
+                    .iter()
+                    .any(|ev| matches!(ev.kind, FaultKind::Crash { .. })),
+                "seed {seed} generated no crash"
+            );
+            assert!(
+                case.scenario.fault_plan.validate(case.scenario.n).is_ok(),
+                "seed {seed}"
+            );
+            let text = case.to_text();
+            assert!(text.contains("\nrecovery "), "recovery line missing");
+            let parsed = parse_case(&text).expect("parse back");
+            assert_eq!(parsed.to_text(), text, "seed {seed}");
+            assert_eq!(
+                parsed.scenario.byzcast.recovery,
+                case.scenario.byzcast.recovery
+            );
+        }
+    }
+
+    #[test]
+    fn corpus_without_recovery_line_parses_to_the_off_envelope() {
+        let text = format!(
+            "{CORPUS_HEADER}\nname old\nseed 1\nn 8\nmobility static\n\
+             workload senders 0 count 1 bytes 256 start_ms 5000 interval_ms 1000 drain_ms 15000\n"
+        );
+        let case = parse_case(&text).expect("parse");
+        assert!(
+            !case.scenario.byzcast.recovery.enabled(),
+            "pre-recovery corpus files must replay with the envelope off"
+        );
     }
 
     #[test]

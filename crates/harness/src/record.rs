@@ -216,6 +216,16 @@ pub fn run_record(
             .u64("peak_missing", r.peak_missing);
         o.raw("resources", &ro.finish());
     }
+    if let Some(r) = &summary.recovery {
+        let mut ro = JsonObject::new();
+        ro.u64("requests_originated", r.requests_originated)
+            .u64("requests_widened", r.requests_widened)
+            .u64("finds_escalated", r.finds_escalated)
+            .u64("peak_escalation", r.peak_escalation)
+            .u64("reelections", r.reelections)
+            .u64("neighbors_purged", r.neighbors_purged);
+        o.raw("recovery", &ro.finish());
+    }
     if !summary.oracle_outcomes.is_empty() {
         let mut oo = JsonObject::new();
         let mut total = 0u64;

@@ -458,6 +458,7 @@ impl ScenarioConfig {
         let mut false_sus = 0u64;
         let mut cache_stats = None;
         let mut resources = byzcast_core::ResourceStats::default();
+        let mut recovery = byzcast_core::RecoveryStats::default();
         for i in 0..self.n as u32 {
             let id = NodeId(i);
             let Some(node) = byz_view(sim, id) else {
@@ -476,6 +477,7 @@ impl ScenarioConfig {
                 }
                 high_water = high_water.max(node.store().high_water());
                 resources.merge(&node.resource_stats());
+                recovery.merge(node.recovery_stats());
                 for ep in node.suspicion_log().episodes() {
                     if adv.contains(&ep.suspect) {
                         true_sus += 1;
@@ -505,6 +507,10 @@ impl ScenarioConfig {
         // byte-identical to before the governance layer existed.
         if !self.byzcast.resources.is_unlimited() {
             summary.resources = Some(resources);
+        }
+        // Likewise only runs with the recovery envelope on report its stats.
+        if self.byzcast.recovery.enabled() {
+            summary.recovery = Some(recovery);
         }
     }
 }

@@ -2,7 +2,7 @@
 
 use std::collections::BTreeSet;
 
-use byzcast_core::{ProtocolCounters, ResourceStats};
+use byzcast_core::{ProtocolCounters, RecoveryStats, ResourceStats};
 use byzcast_sim::{FaultStats, Metrics, NodeId};
 
 /// The distilled result of one simulation run — the quantities the paper's
@@ -79,6 +79,11 @@ pub struct RunSummary {
     /// peaks maxed). `None` when the run is ungoverned, keeping ungoverned
     /// records byte-identical to before the governance layer existed.
     pub resources: Option<ResourceStats>,
+    /// Recovery-escalation stats merged over correct nodes (counters summed,
+    /// the escalation high-water maxed). `None` when the recovery envelope is
+    /// off, keeping pre-escalation records byte-identical to before the
+    /// layer existed.
+    pub recovery: Option<RecoveryStats>,
 }
 
 impl RunSummary {

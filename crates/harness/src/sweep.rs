@@ -127,7 +127,19 @@ pub fn aggregate(summaries: &[RunSummary]) -> RunSummary {
         faults: sum_faults(summaries),
         oracle_outcomes: sum_oracle_outcomes(summaries),
         resources: merge_resources(summaries),
+        recovery: merge_recovery(summaries),
     }
+}
+
+/// Recovery stats over the replicas — counters summed, the escalation
+/// high-water maxed — present only when every replica ran with the
+/// recovery envelope on.
+fn merge_recovery(summaries: &[RunSummary]) -> Option<byzcast_core::RecoveryStats> {
+    let mut total = byzcast_core::RecoveryStats::default();
+    for s in summaries {
+        total.merge(s.recovery.as_ref()?);
+    }
+    Some(total)
 }
 
 /// Resource stats over the replicas — counters summed, peaks maxed ("how

@@ -6,8 +6,11 @@
 //! correct node delivers everything exactly once — and the failure
 //! detectors must end up suspecting the adversary, not a correct node.
 
-use byzcast_harness::{check_run, standard_oracles, AdversaryKind, ScenarioConfig, Workload};
-use byzcast_sim::{Field, NodeId, SimConfig, SimDuration};
+use byzcast_core::RecoveryConfig;
+use byzcast_harness::{
+    check_run, standard_oracles, AdversaryKind, MobilityChoice, ScenarioConfig, Workload,
+};
+use byzcast_sim::{FaultKind, Field, NodeId, Position, RadioConfig, SimConfig, SimDuration};
 
 fn dense_scenario(seed: u64) -> ScenarioConfig {
     ScenarioConfig {
@@ -158,6 +161,101 @@ fn replayed_frames_after_body_purge_are_still_duplicates() {
         checked.summary.min_delivery_ratio, 1.0,
         "the replayer cost a correct node a delivery: {:?}",
         checked.summary
+    );
+}
+
+/// A hand-built thin-chain topology (ideal-disk radio, 250 m range):
+///
+/// ```text
+/// cluster 0-1-2 --- 3 (spare bridge, passive: covered by 7)
+///              \--- 7 (dominator bridge, highest id) --- 4 --- 5 --- 6
+/// ```
+///
+/// Node 7 wins the id-based election and is the chain's only *active*
+/// gateway; node 3 covers the same cut but self-prunes. Crashing 7 before
+/// the broadcast leaves the chain connected (through 3) but served only by
+/// a stale overlay — the shape the PR-4 soak found stranding nodes past the
+/// recovery slack.
+fn thin_chain_scenario(crash_at: SimDuration) -> ScenarioConfig {
+    let positions = vec![
+        Position::new(50.0, 50.0),   // 0: sender
+        Position::new(150.0, 50.0),  // 1: cluster
+        Position::new(250.0, 50.0),  // 2: cluster edge, reaches both bridges
+        Position::new(380.0, 120.0), // 3: spare bridge (passive under 7)
+        Position::new(600.0, 50.0),  // 4: chain hop 1
+        Position::new(800.0, 50.0),  // 5: chain hop 2
+        Position::new(1000.0, 50.0), // 6: chain hop 3
+        Position::new(380.0, 50.0),  // 7: doomed bridge, wins the election
+    ];
+    let mut scenario = ScenarioConfig {
+        seed: 11,
+        n: positions.len(),
+        sim: SimConfig {
+            field: Field::new(1100.0, 200.0),
+            radio: RadioConfig::ideal_disk(250.0),
+            ..SimConfig::default()
+        },
+        mobility: MobilityChoice::Explicit(positions),
+        ..ScenarioConfig::default()
+    };
+    scenario.fault_plan.push(
+        crash_at,
+        FaultKind::Crash {
+            node: NodeId(7),
+            retain_state: false,
+        },
+    );
+    scenario
+}
+
+fn chain_workload() -> Workload {
+    Workload {
+        senders: vec![NodeId(0)],
+        count: 1,
+        payload_bytes: 256,
+        start: SimDuration::from_secs(5),
+        interval: SimDuration::from_secs(1),
+        drain: SimDuration::from_secs(18),
+    }
+}
+
+#[test]
+fn crash_adjacent_to_thin_chain_recovers_within_slack() {
+    // The bridge crashes a second before the broadcast: the chain is still
+    // connected (through the spare bridge) but every overlay decision near
+    // the cut is stale. With the recovery envelope on, the liveness repair
+    // must purge the dead dominator, re-elect, and deliver to every up node
+    // within the semi-reliability slack.
+    let mut scenario = thin_chain_scenario(SimDuration::from_secs(4));
+    scenario.byzcast.recovery = RecoveryConfig::standard();
+    let checked = check_run(&scenario, &chain_workload(), &standard_oracles());
+    let semi = checked
+        .violations
+        .iter()
+        .filter(|v| v.oracle == "semi-reliability")
+        .count();
+    assert_eq!(
+        semi, 0,
+        "a chain node stayed stranded past the slack: {:?}",
+        checked.violations
+    );
+    // Only the crashed bridge itself may miss the message.
+    assert!(
+        checked.summary.min_delivery_ratio >= 7.0 / 8.0,
+        "an up node missed the broadcast: {:?}",
+        checked.summary
+    );
+    let recovery = checked
+        .summary
+        .recovery
+        .expect("recovery-enabled runs report RecoveryStats");
+    assert!(
+        recovery.neighbors_purged >= 1 && recovery.reelections >= 1,
+        "the dead dominator was never purged from the overlay: {recovery:?}"
+    );
+    assert!(
+        recovery.requests_originated >= 1,
+        "the chain never exercised the request path: {recovery:?}"
     );
 }
 

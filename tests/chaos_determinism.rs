@@ -2,13 +2,13 @@
 //! JSONL records regardless of worker-thread count, and a case must survive
 //! the corpus text round-trip with its run outcome intact.
 
-use byzcast_harness::chaos::{generate_case, run_case, soak, violation_counts};
+use byzcast_harness::chaos::{generate_case, run_case, soak, violation_counts, ChaosProfile};
 use byzcast_harness::parse_case;
 
 #[test]
 fn soak_records_are_identical_across_thread_counts() {
-    let serial = soak(0xD0_0D, 8, true, 1);
-    let parallel = soak(0xD0_0D, 8, true, 4);
+    let serial = soak(0xD0_0D, 8, true, 1, ChaosProfile::Standard);
+    let parallel = soak(0xD0_0D, 8, true, 4, ChaosProfile::Standard);
     assert_eq!(serial.len(), parallel.len());
     for (a, b) in serial.iter().zip(&parallel) {
         assert_eq!(a.seed, b.seed);
